@@ -1,0 +1,75 @@
+"""Ablation — read repair's contribution to Cassandra's read latency.
+
+The paper attributes Cassandra's read-latency climb beyond RF = 3 to the
+read-repair process (§4.1).  This ablation isolates that mechanism by
+sweeping ``read_repair_chance`` on the same micro read test at a high
+replication factor:
+
+- ``0.0``  — repair disabled: reads touch exactly one replica;
+- ``0.1``  — the Cassandra 2.0 default the paper cites;
+- ``1.0``  — every read fans digests out to all replicas.
+
+Each chance-triggered read adds RF-1 background digest reads (each a full
+local read on another replica) plus reconciliation work, so mean read
+latency must grow monotonically with the chance — and the growth *is*
+the read-repair burden of finding F4.
+"""
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro.core.config import default_micro_config
+from repro.core.experiment import ExperimentSession
+from repro.core.report import render_table
+from repro.ycsb.workload import MICRO_WORKLOADS
+
+RF = 5
+CHANCES = (0.0, 0.1, 1.0)
+
+
+def run_read_cell(bench_scale, chance):
+    config = default_micro_config("cassandra", "read", replication=RF,
+                                  seed=bench_scale.sweep.seed)
+    config = replace(
+        config,
+        record_count=bench_scale.sweep.record_count,
+        operation_count=bench_scale.sweep.operation_count,
+        n_nodes=bench_scale.sweep.n_nodes,
+        cassandra=replace(config.cassandra, read_repair_chance=chance))
+    session = ExperimentSession(config)
+    session.load()
+    session.warm(operations=bench_scale.sweep.operation_count // 2,
+                 workload=MICRO_WORKLOADS["read"])
+    # Interleave updates so reads race replica propagation (repairs real).
+    session.run_cell(workload=MICRO_WORKLOADS["update"],
+                     operation_count=bench_scale.sweep.operation_count // 2)
+    result = session.run_cell(workload=MICRO_WORKLOADS["read"])
+    stats = session.db_stats()["cassandra"]
+    return result.overall().mean_ms, stats
+
+
+def test_ablation_read_repair(benchmark, bench_scale):
+    def run_all():
+        return {chance: run_read_cell(bench_scale, chance)
+                for chance in CHANCES}
+
+    results = run_once(benchmark, run_all)
+    rows = [[f"chance {chance}", mean_ms, stats["read_repairs"],
+             stats["repair_mutations"]]
+            for chance, (mean_ms, stats) in results.items()]
+    print()
+    print(render_table(
+        ["mode", "read mean ms", "repairs", "repair writes"], rows,
+        title=f"Ablation: read repair at RF={RF}, consistency ONE"))
+
+    off_ms = results[0.0][0]
+    default_ms = results[0.1][0]
+    always_ms = results[1.0][0]
+    # Repair involvement of other replicas costs measurable latency, and
+    # the cost grows with how often it fires.
+    assert default_ms > off_ms * 1.02
+    assert always_ms > default_ms
+    # With repair off, the machinery must never have run.
+    assert results[0.0][1]["read_repairs"] == 0
+    assert results[0.0][1]["repair_mutations"] == 0

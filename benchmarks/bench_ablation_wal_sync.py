@@ -1,0 +1,65 @@
+"""Ablation — why HBase write latency ignores the replication factor.
+
+The paper's finding F2 rests on the HDFS pipeline acknowledging from
+memory (hflush) with asynchronous page-cache flush.  Force the pipeline
+to ack from the platter instead (hsync semantics) and the write latency
+is no longer flat — each replica adds a real disk write to the ack chain.
+
+This regenerates the paper's §4.1 HBase analysis as a falsifiable claim:
+flatness requires in-memory replication.
+"""
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro.core.config import default_micro_config
+from repro.core.experiment import ExperimentSession
+from repro.core.report import render_table
+from repro.ycsb.workload import MICRO_WORKLOADS
+
+
+def insert_latency(bench_scale, rf, wal_sync):
+    config = default_micro_config("hbase", "insert", replication=rf,
+                                  seed=bench_scale.sweep.seed)
+    config = replace(
+        config,
+        record_count=max(2_000, bench_scale.sweep.record_count // 4),
+        operation_count=max(600, bench_scale.sweep.operation_count // 4),
+        n_nodes=bench_scale.sweep.n_nodes,
+        hbase=replace(config.hbase, wal_sync=wal_sync))
+    session = ExperimentSession(config)
+    session.load()
+    result = session.run_cell(workload=MICRO_WORKLOADS["insert"])
+    return result.overall().mean_ms
+
+
+def test_ablation_wal_sync(benchmark, bench_scale):
+    def run_all():
+        out = {}
+        for rf in (1, max(bench_scale.replication_factors)):
+            out[rf] = {
+                "hflush (memory ack)": insert_latency(bench_scale, rf, False),
+                "hsync (disk ack)": insert_latency(bench_scale, rf, True),
+            }
+        return out
+
+    results = run_once(benchmark, run_all)
+    rows = []
+    for rf, modes in results.items():
+        for mode, mean_ms in modes.items():
+            rows.append([rf, mode, mean_ms])
+    print()
+    print(render_table(["RF", "WAL ack mode", "insert mean ms"], rows,
+                       title="Ablation: HBase WAL pipeline durability"))
+
+    low_rf, high_rf = sorted(results)
+    flush_growth = (results[high_rf]["hflush (memory ack)"]
+                    - results[low_rf]["hflush (memory ack)"])
+    sync_growth = (results[high_rf]["hsync (disk ack)"]
+                   - results[low_rf]["hsync (disk ack)"])
+    # Disk-acked pipelines pay far more per extra replica (F2 inverted).
+    assert sync_growth > flush_growth * 2
+    # And hsync is categorically slower at any RF.
+    assert results[low_rf]["hsync (disk ack)"] > \
+        results[low_rf]["hflush (memory ack)"] * 1.4

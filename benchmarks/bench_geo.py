@@ -1,0 +1,106 @@
+"""Geo-distributed benchmark — the paper's §6 future-work testbed.
+
+The paper closes by calling for a geo-distributed testbed for "geo-read
+latency test, partition test and availability test".  This bench runs the
+geo-read latency experiment as a regenerable table: a client in Western
+Europe against a ring spanning three regions (NetworkTopologyStrategy
+2+2+2), comparing datacenter-local and global consistency levels.
+
+Shape assertions:
+
+- LOCAL_QUORUM operations never pay WAN latency;
+- QUORUM and ALL block on at least one trans-continental round trip;
+- cutting off a remote datacenter leaves LOCAL_QUORUM available and
+  makes ALL unavailable.
+"""
+
+from conftest import run_once
+
+from repro.cassandra import (
+    CassandraCluster,
+    CassandraSession,
+    CassandraSpec,
+    ConsistencyLevel,
+)
+from repro.cassandra.consistency import UnavailableError
+from repro.cluster.geo import GeoCluster, GeoSpec
+from repro.core.report import render_table
+from repro.keyspace import key_for_index
+from repro.sim import Environment, RngRegistry
+
+PROBES = 150
+
+
+def build(seed):
+    env = Environment()
+    geo = GeoCluster(env, GeoSpec(
+        datacenters={"eu-west": 5, "us-west": 5, "ap-southeast": 5},
+        client_datacenter="eu-west"), RngRegistry(seed))
+    cassandra = CassandraCluster(geo, CassandraSpec(
+        replication=3,
+        replication_per_dc={"eu-west": 2, "us-west": 2,
+                            "ap-southeast": 2}))
+    session = CassandraSession(cassandra, cassandra.client_node)
+    return env, geo, session
+
+
+def run_geo_latency(seed):
+    env, geo, session = build(seed)
+
+    def scenario():
+        for i in range(1000):
+            yield from session.insert(key_for_index(i), i, 500,
+                                      cl=ConsistencyLevel.LOCAL_QUORUM)
+        yield env.timeout(2)
+        out = {}
+        for cl in (ConsistencyLevel.LOCAL_ONE,
+                   ConsistencyLevel.LOCAL_QUORUM,
+                   ConsistencyLevel.QUORUM, ConsistencyLevel.ALL):
+            write_lat, read_lat = [], []
+            for i in range(PROBES):
+                key = key_for_index(i % 1000)
+                start = env.now
+                yield from session.insert(key, i, 500, cl=cl)
+                write_lat.append(env.now - start)
+                start = env.now
+                yield from session.read(key, 500, cl=cl)
+                read_lat.append(env.now - start)
+            out[cl.value] = (sum(write_lat) / PROBES * 1000,
+                             sum(read_lat) / PROBES * 1000)
+        # Partition probe.
+        geo.partition_datacenter("ap-southeast")
+        availability = {}
+        for cl in (ConsistencyLevel.LOCAL_QUORUM, ConsistencyLevel.ALL):
+            try:
+                yield from session.insert(key_for_index(5), "x", 500, cl=cl)
+                availability[cl.value] = "available"
+            except UnavailableError:
+                availability[cl.value] = "unavailable"
+        return out, availability
+
+    return env.run(until=env.process(scenario()))
+
+
+def test_geo_read_latency(benchmark, bench_scale):
+    latencies, availability = run_once(
+        benchmark, lambda: run_geo_latency(bench_scale.sweep.seed))
+    rows = [[cl, w, r] for cl, (w, r) in latencies.items()]
+    print()
+    print(render_table(
+        ["consistency", "write ms", "read ms"], rows,
+        title="Geo testbed (paper §6): client in eu-west, replicas 2+2+2 "
+              "over eu-west/us-west/ap-southeast"))
+    print(render_table(
+        ["consistency", "during ap-southeast partition"],
+        [[cl, outcome] for cl, outcome in availability.items()]))
+
+    local_write, local_read = latencies["LOCAL_QUORUM"]
+    global_write, global_read = latencies["ALL"]
+    quorum_write, quorum_read = latencies["QUORUM"]
+    # LOCAL_* stays in the rack (sub-ms); global levels cross an ocean.
+    assert local_write < 5 and local_read < 5
+    assert global_write > 50 and global_read > 50
+    assert quorum_write > 50  # 4 of 6 needs a second datacenter
+    # Availability under partition.
+    assert availability["LOCAL_QUORUM"] == "available"
+    assert availability["ALL"] == "unavailable"

@@ -1,0 +1,80 @@
+"""SLA-driven stress levels — the paper's §6 future work, implemented.
+
+The paper proposes replacing raw target throughputs with a service-level
+agreement ("at least p percent of requests get response within l latency
+during a period of time t") so clusters can be compared at equal user
+experience.  This bench finds, for each database, the highest offered
+throughput whose run still satisfies an SLA, using the evaluator in
+:mod:`repro.core.sla`.
+"""
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro.core.config import default_stress_config
+from repro.core.experiment import ExperimentSession
+from repro.core.report import render_table
+from repro.core.sla import Sla, evaluate_sla, max_throughput_under_sla
+from repro.ycsb.workload import STRESS_WORKLOADS
+
+SLA = Sla(percentile=0.95, latency_ms=10.0, window_s=2.0)
+
+
+def best_target_for(db, bench_scale):
+    config = default_stress_config(db, "read_mostly",
+                                   seed=bench_scale.sweep.seed)
+    config = replace(config,
+                     record_count=bench_scale.sweep.record_count,
+                     operation_count=bench_scale.sweep.operation_count,
+                     n_threads=bench_scale.sweep.n_threads,
+                     n_nodes=bench_scale.sweep.n_nodes)
+    session = ExperimentSession(config)
+    session.load()
+    session.warm()
+
+    def run_at(target):
+        result = session.run_cell(workload=STRESS_WORKLOADS["read_mostly"],
+                                  target_throughput=target)
+        return result.measurements
+
+    targets = [t for t in bench_scale.sweep.targets if t is not None]
+    best, reports = max_throughput_under_sla(run_at, targets, SLA)
+    return best, reports
+
+
+def test_sla_search(benchmark, bench_scale):
+    def run_all():
+        return {db: best_target_for(db, bench_scale)
+                for db in ("hbase", "cassandra")}
+
+    results = run_once(benchmark, run_all)
+    rows = []
+    for db, (best, reports) in results.items():
+        for target, report in reports:
+            rows.append([db, target,
+                         f"{report.compliant_windows}/{report.windows}",
+                         f"{report.overall_fraction:.3f}",
+                         "PASS" if report.satisfied else "FAIL"])
+        rows.append([db, "-> best", best if best is not None else "none",
+                     "", ""])
+    print()
+    print(render_table(
+        ["db", "target ops/s", "ok windows", "within-SLA frac", "verdict"],
+        rows,
+        title=f"SLA search: {SLA.percentile:.0%} of requests <= "
+              f"{SLA.latency_ms:.0f} ms per {SLA.window_s:.0f}s window "
+              f"(read_mostly, RF=3)"))
+
+    # Both systems must pass at the gentlest offered load...
+    for db, (best, reports) in results.items():
+        assert reports[0][1].windows > 0
+        assert best is None or best >= reports[0][0] or not reports[0][1].satisfied
+    # ...and the evaluator must return monotone verdicts (no pass after a
+    # fail, by construction of the search).
+    for db, (_, reports) in results.items():
+        seen_fail = False
+        for _, report in reports:
+            if seen_fail:
+                raise AssertionError("search continued past a failure")
+            seen_fail = not report.satisfied

@@ -1,0 +1,59 @@
+"""Table 1 — workloads of the stress benchmarks for replication/consistency.
+
+Regenerates the paper's Table 1 from the workload definitions and
+benchmarks the workload engine itself (key-choice throughput), since every
+other benchmark's offered load rides on it.
+"""
+
+import random
+
+from conftest import run_once
+
+from repro.core.report import render_table
+from repro.ycsb.workload import STRESS_WORKLOADS, Workload
+
+
+def render_table1() -> str:
+    rows = []
+    for spec in STRESS_WORKLOADS.values():
+        mix = []
+        if spec.read_proportion:
+            mix.append(f"read/update ratio: {spec.read_proportion:.0%}/"
+                       f"{spec.update_proportion:.0%}"
+                       if spec.update_proportion else
+                       f"read {spec.read_proportion:.0%}")
+        if spec.insert_proportion:
+            mix.append(f"insert {spec.insert_proportion:.0%}")
+        if spec.scan_proportion:
+            mix.append(f"scan {spec.scan_proportion:.0%}")
+        if spec.read_modify_write_proportion:
+            mix.append(f"rmw {spec.read_modify_write_proportion:.0%}")
+        rows.append([spec.name, spec.typical_usage, ", ".join(mix),
+                     spec.request_distribution.capitalize()])
+    return render_table(
+        ["Workload", "Typical usage", "Operations", "Records distribution"],
+        rows, title="Table 1: workloads of the stress benchmarks")
+
+
+def test_table1_definitions(benchmark):
+    table = run_once(benchmark, render_table1)
+    print()
+    print(table)
+    # Pin the five rows and their distributions.
+    assert "read_mostly" in table and "Zipfian" in table
+    assert "read_latest" in table and "Latest" in table
+    assert table.count("\n") == 7  # title + header + rule + 5 workloads
+
+
+def test_workload_engine_throughput(benchmark):
+    """Key-choice throughput of the workload engine (pure Python)."""
+    workload = Workload(STRESS_WORKLOADS["read_mostly"], 100_000,
+                        random.Random(1))
+
+    def draw_many():
+        for _ in range(10_000):
+            workload.next_operation()
+            workload.next_read_key()
+        return True
+
+    assert benchmark(draw_many)

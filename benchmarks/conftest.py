@@ -1,0 +1,64 @@
+"""Shared scale handling for the benchmark harness.
+
+Every bench honours ``REPRO_BENCH_SCALE``:
+
+- ``quick``    — small clusters/populations; minutes for the whole suite;
+  shapes still visible but noisy.
+- ``standard`` (default) — the scaled-down defaults from DESIGN.md §6;
+  replication sweeps cover RF {1, 2, 3, 6} (endpoints + the paper's knee).
+- ``full``     — RF 1..6 and more offered-load points, like the paper's
+  six rounds; expect a long run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.sweep import QUICK_SCALE, SweepScale
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    sweep: SweepScale
+    replication_factors: tuple
+    name: str
+
+
+_SCALES = {
+    "quick": BenchScale(
+        sweep=QUICK_SCALE,
+        replication_factors=(1, 3, 6),
+        name="quick"),
+    "standard": BenchScale(
+        sweep=SweepScale(record_count=12_000, operation_count=2_500,
+                         n_threads=48, n_nodes=16,
+                         targets=(3_000.0, 9_000.0, 16_000.0, None)),
+        replication_factors=(1, 2, 3, 6),
+        name="standard"),
+    "full": BenchScale(
+        sweep=SweepScale(record_count=30_000, operation_count=4_000,
+                         n_threads=48, n_nodes=16,
+                         targets=(2_000.0, 6_000.0, 12_000.0, 20_000.0, None)),
+        replication_factors=(1, 2, 3, 4, 5, 6),
+        name="full"),
+}
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> BenchScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "standard")
+    if name not in _SCALES:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}")
+    return _SCALES[name]
+
+
+def run_once(benchmark, func):
+    """Execute ``func`` exactly once under pytest-benchmark timing.
+
+    The sweeps are deterministic simulations — repeating them only
+    re-measures the host CPU — so one round is the honest measurement.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

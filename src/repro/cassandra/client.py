@@ -1,0 +1,94 @@
+"""Driver session: round-robin coordinators, per-request consistency."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.cassandra.consistency import ConsistencyLevel
+from repro.cassandra.deployment import CassandraCluster
+from repro.cluster.node import Node
+from repro.cluster.topology import DeadNodeError, RpcTimeout
+
+__all__ = ["CassandraSession"]
+
+
+class CassandraSession:
+    """Client-side session (the DataStax-driver analogue).
+
+    Requests round-robin over the live ring members, as the paper's YCSB
+    client did; read and write consistency levels are set separately
+    (paper §2) and can be overridden per request.
+    """
+
+    def __init__(self, cassandra: CassandraCluster, client_node: Node,
+                 read_cl: ConsistencyLevel = ConsistencyLevel.ONE,
+                 write_cl: ConsistencyLevel = ConsistencyLevel.ONE,
+                 op_timeout_s: float = 10.0,
+                 dc_aware: bool = True) -> None:
+        self.cassandra = cassandra
+        self.cluster = cassandra.cluster
+        self.client_node = client_node
+        self.read_cl = read_cl
+        self.write_cl = write_cl
+        self.op_timeout_s = op_timeout_s
+        self._rr_index = 0
+        #: On geo clusters, prefer coordinators in the client's own
+        #: datacenter (the driver's DCAwareRoundRobinPolicy default).
+        self.dc_aware = dc_aware
+
+    def _coordinator_pool(self) -> list[Node]:
+        members = self.cassandra.server_nodes
+        datacenters = getattr(self.cluster, "node_datacenter", None)
+        if not self.dc_aware or datacenters is None:
+            return members
+        my_dc = datacenters.get(self.client_node.node_id)
+        local = [n for n in members
+                 if datacenters.get(n.node_id) == my_dc and n.alive]
+        return local or members
+
+    def _next_coordinator(self) -> Node:
+        members = self._coordinator_pool()
+        for _ in range(len(members)):
+            node = members[self._rr_index % len(members)]
+            self._rr_index += 1
+            if node.alive:
+                return node
+        raise DeadNodeError("no live Cassandra coordinator")
+
+    # -- operations -----------------------------------------------------
+
+    def insert(self, key: str, value: Any, size: int,
+               cl: Optional[ConsistencyLevel] = None) -> Generator:
+        """Write one row at the session's (or given) write CL."""
+        cl = cl or self.write_cl
+        coordinator = self._next_coordinator()
+        result = yield from self.cluster.call(
+            self.client_node, coordinator, "c.coord_write",
+            (key, value, size, self.cluster.env.now, cl.value),
+            request_bytes=size + 80, response_bytes=20,
+            timeout=self.op_timeout_s)
+        return result
+
+    def read(self, key: str, expected_bytes: int = 1024,
+             cl: Optional[ConsistencyLevel] = None) -> Generator:
+        """Read one row; returns ``(value, timestamp)`` or None."""
+        cl = cl or self.read_cl
+        coordinator = self._next_coordinator()
+        result = yield from self.cluster.call(
+            self.client_node, coordinator, "c.coord_read",
+            (key, cl.value, expected_bytes),
+            request_bytes=70, response_bytes=expected_bytes + 30,
+            timeout=self.op_timeout_s)
+        return result
+
+    def scan(self, start_key: str, limit: int, record_bytes: int = 1024,
+             cl: Optional[ConsistencyLevel] = None) -> Generator:
+        """Token-order scan from ``start_key``."""
+        cl = cl or self.read_cl
+        coordinator = self._next_coordinator()
+        rows = yield from self.cluster.call(
+            self.client_node, coordinator, "c.coord_scan",
+            (start_key, limit, cl.value, record_bytes),
+            request_bytes=80, response_bytes=record_bytes * limit,
+            timeout=self.op_timeout_s)
+        return rows

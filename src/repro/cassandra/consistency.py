@@ -1,0 +1,68 @@
+"""Consistency levels and ack arithmetic."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["ConsistencyLevel", "UnavailableError"]
+
+
+class UnavailableError(Exception):
+    """Fewer live replicas than the consistency level requires."""
+
+
+class ConsistencyLevel(enum.Enum):
+    """How many replicas must respond before the coordinator answers.
+
+    The paper benchmarks ONE, QUORUM and "write ALL" (write at ALL, read
+    at ONE); TWO/THREE exist in Cassandra and are included for
+    completeness.
+    """
+
+    ONE = "ONE"
+    TWO = "TWO"
+    THREE = "THREE"
+    QUORUM = "QUORUM"
+    ALL = "ALL"
+    #: Datacenter-local levels (geo deployments, the paper's §6 future
+    #: work).  On a single-rack cluster they degrade to ONE / QUORUM.
+    LOCAL_ONE = "LOCAL_ONE"
+    LOCAL_QUORUM = "LOCAL_QUORUM"
+
+    @property
+    def is_datacenter_local(self) -> bool:
+        return self in (ConsistencyLevel.LOCAL_ONE,
+                        ConsistencyLevel.LOCAL_QUORUM)
+
+    def required(self, replication: int) -> int:
+        """Number of replica responses needed at replication factor
+        ``replication``.
+
+        For the LOCAL_* levels ``replication`` should be the number of
+        replicas *in the coordinator's datacenter* (the coordinator passes
+        that); on single-datacenter clusters it is simply the total.
+        """
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        if self in (ConsistencyLevel.ONE, ConsistencyLevel.LOCAL_ONE):
+            needed = 1
+        elif self is ConsistencyLevel.TWO:
+            needed = 2
+        elif self is ConsistencyLevel.THREE:
+            needed = 3
+        elif self in (ConsistencyLevel.QUORUM,
+                      ConsistencyLevel.LOCAL_QUORUM):
+            needed = replication // 2 + 1
+        else:
+            needed = replication
+        if needed > replication:
+            raise UnavailableError(
+                f"consistency {self.value} needs {needed} replicas but the "
+                f"replication factor is only {replication}")
+        return needed
+
+    def is_strong_with(self, other: "ConsistencyLevel",
+                       replication: int) -> bool:
+        """True when (read=self, write=other) overlap: R + W > N."""
+        return (self.required(replication) + other.required(replication)
+                > replication)

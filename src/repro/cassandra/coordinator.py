@@ -1,0 +1,317 @@
+"""Per-request coordination: consistency waits and read repair.
+
+Any node coordinates requests for any key (clients round-robin).  The
+coordinator forwards writes to every replica and waits for as many acks
+as the consistency level demands; reads combine one full data read with
+digest reads, widening to *all* replicas when the global read-repair
+chance fires.
+
+Read-repair semantics (Cassandra 2.0, the version the paper benchmarks):
+
+- the client response blocks on the **consistency level** — one data read
+  plus ``required - 1`` digest reads;
+- a digest mismatch *within* that CL-blocking set forces a foreground
+  reconcile (full reads, newest-timestamp wins, repair mutations) before
+  the response — that is the cost QUORUM pays for recent writes;
+- when the global ``read_repair_chance`` fires, the remaining replicas
+  are read and reconciled **asynchronously**: no latency coupling, but
+  the extra digest reads, full reads and repair mutations consume disk,
+  CPU and network — the background burden the paper's §4.1 blames for
+  Cassandra's read-latency climb with the replication factor.
+
+``blocking_read_repair=False`` (ablation) moves even the CL-set
+reconcile off the latency path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.cassandra.consistency import ConsistencyLevel, UnavailableError
+from repro.cassandra.hints import Hint
+from repro.sim.kernel import AllOf, Environment, Event, Process
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cassandra.node import CassandraNode
+
+__all__ = ["Coordinator", "ReadTimeoutError", "WriteTimeoutError", "wait_for_k"]
+
+#: CPU charged on the coordinator per request it coordinates.
+_COORD_CPU_S = 1.2e-5
+
+
+class WriteTimeoutError(Exception):
+    """Not enough replica acks arrived before the write timeout."""
+
+
+class ReadTimeoutError(Exception):
+    """Not enough replica responses arrived before the read timeout."""
+
+
+def wait_for_k(env: Environment, procs: list[Process], k: int,
+               failure: Exception) -> Generator:
+    """Wait until ``k`` of ``procs`` complete successfully (a process).
+
+    A proc "fails" when it terminated with an Exception *value* (the RPC
+    fan-out helpers convert timeouts into values).  If completion of all
+    procs cannot reach ``k`` successes, ``failure`` is raised.
+    """
+    if k <= 0:
+        return
+    if k > len(procs):
+        raise failure
+    done = env.event()
+    state = {"ok": 0, "finished": 0}
+
+    def check(event: Event) -> None:
+        state["finished"] += 1
+        if not isinstance(event.value, Exception):
+            state["ok"] += 1
+        if done.triggered:
+            return
+        if state["ok"] >= k:
+            done.succeed()
+        elif state["finished"] == len(procs):
+            done.fail(failure)
+
+    for proc in procs:
+        if proc.processed:
+            check(proc)
+        else:
+            proc.callbacks.append(check)
+    yield done
+
+
+class Coordinator:
+    """Coordination logic bound to one :class:`CassandraNode`."""
+
+    def __init__(self, owner: "CassandraNode", rng) -> None:
+        self.owner = owner
+        self._rng = rng
+        self.stats = {"writes": 0, "reads": 0, "scans": 0,
+                      "read_repairs": 0, "repair_mutations": 0,
+                      "hints_stored": 0, "background_repairs": 0}
+
+    # -- plumbing --------------------------------------------------------
+
+    @property
+    def env(self) -> Environment:
+        return self.owner.node.env
+
+    def _replica_mutate(self, replica_id: int, key: str, value, size: int,
+                        timestamp: float) -> Process:
+        """Send a mutation to one replica (local fast path when self)."""
+        owner = self.owner
+        if replica_id == owner.node.node_id:
+            return self.env.process(
+                owner.local_mutate(key, value, size, timestamp),
+                name="local-mutate")
+        return owner.cluster.call_async(
+            owner.node, owner.cluster.node(replica_id), "c.mutate",
+            (key, value, size, timestamp), request_bytes=size + 60,
+            response_bytes=20, timeout=owner.spec.replica_timeout_s)
+
+    def _replica_read(self, replica_id: int, key: str, expected_bytes: int,
+                      digest: bool) -> Process:
+        owner = self.owner
+        if replica_id == owner.node.node_id:
+            gen = (owner.local_read_digest(key) if digest
+                   else owner.local_read_data(key))
+            return self.env.process(gen, name="local-read")
+        verb = "c.read_digest" if digest else "c.read_data"
+        return owner.cluster.call_async(
+            owner.node, owner.cluster.node(replica_id), verb, key,
+            request_bytes=60,
+            response_bytes=16 if digest else expected_bytes + 30,
+            timeout=owner.spec.replica_timeout_s)
+
+    def _alive_replicas(self, key: str) -> tuple[list[int], int]:
+        """(alive replica ids in placement order, configured replication)."""
+        replicas = self.owner.placement.replicas_for_key(key)
+        alive = [r for r in replicas
+                 if self.owner.cluster.node(r).alive]
+        return alive, len(replicas)
+
+    def _plan(self, cl: ConsistencyLevel, alive: list[int],
+              replication: int) -> tuple[int, list[int], int]:
+        """(required acks, read-ordered candidates, ack-pool size).
+
+        For datacenter-local levels the ack count is a quorum/one of the
+        *coordinator's datacenter* replicas — only the first
+        ``ack_pool`` candidates (the local ones) may satisfy it — and
+        local replicas are preferred as read targets, which is what keeps
+        geo-reads off the WAN.  On single-DC clusters this degrades to
+        the plain levels.
+        """
+        datacenters = getattr(self.owner.cluster, "node_datacenter", None)
+        if not cl.is_datacenter_local or datacenters is None:
+            return cl.required(replication), alive, len(alive)
+        my_dc = datacenters[self.owner.node.node_id]
+        local = [r for r in alive if datacenters.get(r) == my_dc]
+        remote = [r for r in alive if datacenters.get(r) != my_dc]
+        if not local:
+            # No local replicas: fall back to plain semantics.
+            return cl.required(replication), alive, len(alive)
+        required = cl.required(len(local))
+        return required, local + remote, len(local)
+
+    # -- write path -------------------------------------------------------
+
+    def handle_write(self, payload) -> Generator:
+        """Coordinate one write: fan out, wait for CL acks."""
+        key, value, size, timestamp, cl_name = payload
+        cl = ConsistencyLevel(cl_name)
+        self.stats["writes"] += 1
+        yield from self.owner.node.cpu_work(_COORD_CPU_S)
+        alive, replication = self._alive_replicas(key)
+        required, ordered, ack_pool = self._plan(cl, alive, replication)
+        if len(alive) < required:
+            raise UnavailableError(
+                f"write {cl.value} needs {required} replicas, "
+                f"{len(alive)} alive")
+        # Mutations go to every live replica; only the ack wait differs.
+        # For LOCAL_* levels only acks from the coordinator's datacenter
+        # (the first ``ack_pool`` candidates) satisfy the level.
+        acks = [self._replica_mutate(r, key, value, size, timestamp)
+                for r in ordered]
+        dead = [r for r in self.owner.placement.replicas_for_key(key)
+                if r not in alive]
+        for replica_id in dead:
+            self.owner.hints.store(Hint(replica_id, key, value, size,
+                                        timestamp))
+            self.stats["hints_stored"] += 1
+        yield from wait_for_k(
+            self.env, acks[:ack_pool], required,
+            WriteTimeoutError(f"write {cl.value} got < {required} acks"))
+        return True
+
+    # -- read path -----------------------------------------------------
+
+    def handle_read(self, payload) -> Generator:
+        """Coordinate one read: data + digests, then maybe read repair."""
+        key, cl_name, expected_bytes = payload
+        cl = ConsistencyLevel(cl_name)
+        self.stats["reads"] += 1
+        yield from self.owner.node.cpu_work(_COORD_CPU_S)
+        spec = self.owner.spec
+        alive, replication = self._alive_replicas(key)
+        required, ordered, _ack_pool = self._plan(cl, alive, replication)
+        if len(alive) < required:
+            raise UnavailableError(
+                f"read {cl.value} needs {required} replicas, "
+                f"{len(alive)} alive")
+        repair_fires = (len(ordered) > required
+                        and self._rng.random() < spec.read_repair_chance)
+        involved = ordered if repair_fires else ordered[:required]
+
+        data_proc = self._replica_read(involved[0], key, expected_bytes,
+                                       digest=False)
+        digest_procs = [self._replica_read(r, key, expected_bytes,
+                                           digest=True)
+                        for r in involved[1:]]
+
+        # Cassandra 2.0 semantics: the response blocks on the consistency
+        # level only.  Digests beyond the CL (the chance-triggered global
+        # read repair) are compared asynchronously; a mismatch *within*
+        # the CL-blocking set forces a foreground reconcile before the
+        # client sees an answer.  ``blocking_read_repair=False`` (the
+        # ablation) moves even that reconcile off the latency path.
+        blocking_digests = required - 1
+        yield data_proc
+        data_resp = data_proc.value
+        if isinstance(data_resp, Exception):
+            raise ReadTimeoutError(f"data read on {involved[0]} failed")
+        if blocking_digests:
+            yield from wait_for_k(
+                self.env, digest_procs[:blocking_digests], blocking_digests,
+                ReadTimeoutError(
+                    f"read {cl.value} got < {blocking_digests} digests"))
+
+        data_ts = data_resp[1] if data_resp is not None else None
+        digests: list[tuple[int, Optional[float]]] = []
+        async_replicas: list[int] = []
+        async_procs: list[Process] = []
+        for replica_id, proc in zip(involved[1:], digest_procs):
+            if proc.processed and not isinstance(proc.value, Exception):
+                digests.append((replica_id, proc.value))
+            elif not proc.processed:
+                async_replicas.append(replica_id)
+                async_procs.append(proc)
+        if async_procs:
+            from repro.cassandra.read_repair import background_reconcile
+            self.env.process(
+                background_reconcile(self, key, expected_bytes, involved[0],
+                                     data_resp, async_replicas, async_procs),
+                name="background-read-repair")
+
+        mismatch = any(d != data_ts for _, d in digests)
+        if not mismatch:
+            return data_resp
+
+        # Reconcile: full reads from the digest replicas, newest wins.
+        self.stats["read_repairs"] += 1
+        result = yield from self._reconcile(
+            key, expected_bytes, involved[0], data_resp,
+            [r for r, _ in digests], blocking=spec.blocking_read_repair)
+        return result
+
+    def _reconcile(self, key: str, expected_bytes: int, data_replica: int,
+                   data_resp, digest_replicas: list[int],
+                   blocking: bool) -> Generator:
+        """Full-data reads + repair mutations; returns the newest version."""
+        full_procs = [self._replica_read(r, key, expected_bytes, digest=False)
+                      for r in digest_replicas]
+        if full_procs:
+            yield AllOf(self.env, full_procs)
+        versions: list[tuple[int, object, Optional[float]]] = [
+            (data_replica, *(data_resp if data_resp is not None
+                             else (None, None)))]
+        for replica_id, proc in zip(digest_replicas, full_procs):
+            resp = proc.value
+            if isinstance(resp, Exception):
+                continue
+            versions.append((replica_id, *(resp if resp is not None
+                                           else (None, None))))
+        newest = max(versions, key=lambda v: (v[2] is not None, v[2] or 0.0))
+        _, newest_value, newest_ts = newest
+        if newest_ts is None:
+            return None
+        stale = [v[0] for v in versions if v[2] != newest_ts]
+        repair_acks = [
+            self._replica_mutate(r, key, newest_value, expected_bytes,
+                                 newest_ts)
+            for r in stale]
+        self.stats["repair_mutations"] += len(repair_acks)
+        if blocking and repair_acks:
+            yield from wait_for_k(
+                self.env, repair_acks, len(repair_acks),
+                ReadTimeoutError("read repair mutations timed out"))
+        return (newest_value, newest_ts)
+
+    # -- scan path ----------------------------------------------------
+
+    def handle_scan(self, payload) -> Generator:
+        """Token-order scan served by the start token's main replica.
+
+        Range scans read contiguous token ranges, so regardless of the
+        consistency level the rows come from one replica's local range —
+        which is why the paper finds all consistency levels performing
+        closely on the scan workload (§4.3).
+        """
+        start_key, limit, _cl_name, expected_bytes = payload
+        self.stats["scans"] += 1
+        yield from self.owner.node.cpu_work(_COORD_CPU_S)
+        alive, _replication = self._alive_replicas(start_key)
+        if not alive:
+            raise UnavailableError("no live replica for scan start token")
+        owner = self.owner
+        main = alive[0]
+        if main == owner.node.node_id:
+            rows = yield from owner._handle_scan((start_key, limit))
+            return rows
+        rows = yield from owner.cluster.call(
+            owner.node, owner.cluster.node(main), "c.scan",
+            (start_key, limit), request_bytes=70,
+            response_bytes=expected_bytes * limit,
+            timeout=owner.spec.replica_timeout_s)
+        return rows

@@ -1,0 +1,88 @@
+"""Wires a full Cassandra deployment onto a simulated cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from typing import Optional
+
+from repro.cassandra.multidc import NetworkTopologyStrategy, SimpleStrategy
+from repro.cassandra.node import CassandraNode
+from repro.cassandra.partitioner import TokenRing
+from repro.cluster.topology import Cluster
+from repro.storage.lsm import StorageSpec
+
+__all__ = ["CassandraCluster", "CassandraSpec"]
+
+
+@dataclass(frozen=True)
+class CassandraSpec:
+    """Deployment knobs for one experiment cell."""
+
+    #: SimpleStrategy replication factor — the paper's replication knob.
+    replication: int = 3
+    #: Virtual nodes per physical node (Cassandra 2.0 defaults to 256;
+    #: scaled down with everything else — placement statistics are
+    #: already uniform at 16).
+    vnodes: int = 16
+    #: Probability that a read involves all replicas for repair
+    #: (Cassandra 2.0's table default, cited by the paper §4.1).
+    read_repair_chance: float = 0.1
+    #: Paper-faithful foreground reconciliation; False = async ablation.
+    blocking_read_repair: bool = True
+    storage: StorageSpec = field(default_factory=StorageSpec)
+    replica_timeout_s: float = 2.0
+    hint_replay_interval_s: float = 1.0
+    #: Geo deployments: datacenter name -> replicas in that datacenter
+    #: (NetworkTopologyStrategy).  ``None`` = SimpleStrategy with
+    #: ``replication`` over the whole ring.  Requires a cluster that
+    #: reports node datacenters (see :class:`repro.cluster.geo.GeoCluster`).
+    replication_per_dc: Optional[dict] = None
+
+
+class CassandraCluster:
+    """A Cassandra ring deployed over a :class:`~repro.cluster.topology.Cluster`.
+
+    The last cluster node is reserved for the YCSB client (mirroring the
+    paper's 15-server + 1-client layout); every other node joins the ring.
+    """
+
+    def __init__(self, cluster: Cluster, spec: CassandraSpec) -> None:
+        if len(cluster.nodes) < 2:
+            raise ValueError("Cassandra needs at least one server + client node")
+        self.cluster = cluster
+        self.spec = spec
+        self.client_node = cluster.node(len(cluster.nodes) - 1)
+        self.server_nodes = cluster.nodes[:-1]
+        self.ring = TokenRing([n.node_id for n in self.server_nodes],
+                              spec.vnodes, cluster.rngs.stream("ring"))
+        if spec.replication_per_dc is not None:
+            datacenter_of = getattr(cluster, "node_datacenter", None)
+            if datacenter_of is None:
+                raise ValueError("replication_per_dc needs a geo cluster "
+                                 "(one that maps nodes to datacenters)")
+            server_dcs = {n.node_id: datacenter_of[n.node_id]
+                          for n in self.server_nodes}
+            self.placement = NetworkTopologyStrategy(
+                self.ring, server_dcs, spec.replication_per_dc)
+        else:
+            self.placement = SimpleStrategy(self.ring, spec.replication)
+        self.nodes: dict[int, CassandraNode] = {
+            n.node_id: CassandraNode(
+                cluster, n, self.ring, spec,
+                cluster.rngs.stream(f"cassandra.coord.{n.node_id}"),
+                placement=self.placement)
+            for n in self.server_nodes
+        }
+
+    def replicas_of(self, key: str) -> list[int]:
+        """Replica node ids for ``key`` under the configured placement."""
+        return self.placement.replicas_for_key(key)
+
+    def total_stats(self) -> dict[str, int]:
+        """Aggregate coordinator statistics across the ring."""
+        totals: dict[str, int] = {}
+        for node in self.nodes.values():
+            for stat, count in node.coordinator.stats.items():
+                totals[stat] = totals.get(stat, 0) + count
+        return totals

@@ -1,0 +1,69 @@
+"""Hinted handoff.
+
+When a write's target replica is dead, the coordinator stores a *hint*
+locally and delivers it once the target comes back — keeping writes
+available at consistency level ONE through node failures (the paper's
+availability story for Cassandra).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cassandra.node import CassandraNode
+
+__all__ = ["Hint", "HintStore"]
+
+
+@dataclass(frozen=True)
+class Hint:
+    target_node_id: int
+    key: str
+    value: object
+    size: int
+    timestamp: float
+
+
+class HintStore:
+    """Per-coordinator hint queue with a periodic delivery loop."""
+
+    def __init__(self, owner: "CassandraNode",
+                 replay_interval_s: float = 1.0) -> None:
+        self.owner = owner
+        self.replay_interval_s = replay_interval_s
+        self._hints: list[Hint] = []
+        self.stored = 0
+        self.delivered = 0
+        owner.node.env.process(self._replayer(),
+                               name=f"hints-{owner.node.node_id}")
+
+    def __len__(self) -> int:
+        return len(self._hints)
+
+    def store(self, hint: Hint) -> None:
+        self._hints.append(hint)
+        self.stored += 1
+        # A hint is a local mutation (system.hints table): buffered append.
+        self.owner.node.disk.append_buffered(hint.size + 64)
+
+    def _replayer(self) -> Generator:
+        cluster = self.owner.cluster
+        env = self.owner.node.env
+        while True:
+            yield env.timeout(self.replay_interval_s)
+            deliverable = [h for h in self._hints
+                           if cluster.node(h.target_node_id).alive]
+            for hint in deliverable:
+                try:
+                    yield from cluster.call(
+                        self.owner.node, cluster.node(hint.target_node_id),
+                        "c.mutate",
+                        (hint.key, hint.value, hint.size, hint.timestamp),
+                        request_bytes=hint.size + 60, response_bytes=20,
+                        timeout=2.0)
+                except Exception:
+                    continue  # target died again; keep the hint
+                self._hints.remove(hint)
+                self.delivered += 1

@@ -1,0 +1,113 @@
+"""A Cassandra storage node: local LSM engine + replica verbs.
+
+Every node is also a potential coordinator; the coordination logic lives
+in :mod:`repro.cassandra.coordinator`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.cassandra.coordinator import Coordinator
+from repro.cassandra.hints import HintStore
+from repro.cassandra.partitioner import TokenRing
+from repro.cluster.node import Node
+from repro.cluster.topology import Cluster
+from repro.storage.lsm import LocalDiskMedium, LsmTree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cassandra.deployment import CassandraSpec
+
+__all__ = ["CassandraNode"]
+
+#: CPU charged per replica-verb invocation (StorageProxy bookkeeping).
+_VERB_CPU_S = 1.0e-5
+
+
+class CassandraNode:
+    """One ring member: replica storage + request coordination."""
+
+    def __init__(self, cluster: Cluster, node: Node, ring: TokenRing,
+                 spec: "CassandraSpec", rng, placement=None) -> None:
+        from repro.cassandra.multidc import SimpleStrategy
+        self.cluster = cluster
+        self.node = node
+        self.ring = ring
+        self.spec = spec
+        self.placement = placement or SimpleStrategy(ring, spec.replication)
+        self.tree = LsmTree(node.env, node, LocalDiskMedium(node),
+                            spec.storage, name=f"cassandra{node.node_id}")
+        self.hints = HintStore(self, spec.hint_replay_interval_s)
+        self.coordinator = Coordinator(self, rng)
+        self.ops = {"mutate": 0, "read_data": 0, "read_digest": 0, "scan": 0}
+        node.register("c.mutate", self._handle_mutate)
+        node.register("c.read_data", self._handle_read_data)
+        node.register("c.read_digest", self._handle_read_digest)
+        node.register("c.scan", self._handle_scan)
+        node.register("c.coord_write", self.coordinator.handle_write)
+        node.register("c.coord_read", self.coordinator.handle_read)
+        node.register("c.coord_scan", self.coordinator.handle_scan)
+
+    # -- replica verbs -------------------------------------------------
+
+    def _handle_mutate(self, payload) -> Generator:
+        """Apply one mutation: commit log + memtable."""
+        key, value, size, timestamp = payload
+        self.ops["mutate"] += 1
+        yield from self.node.cpu_work(_VERB_CPU_S)
+        yield from self.tree.put(key, value, size, timestamp)
+        return True
+
+    def _handle_read_data(self, key: str) -> Generator:
+        """Full read: returns ``(value, timestamp)`` or None."""
+        self.ops["read_data"] += 1
+        yield from self.node.cpu_work(_VERB_CPU_S)
+        result = yield from self.tree.get(key)
+        return result
+
+    def _handle_read_digest(self, key: str) -> Generator:
+        """Digest read: same local I/O as a data read, tiny response.
+
+        The digest is modelled as the newest local timestamp — two
+        replicas' digests match exactly when their newest versions match.
+        """
+        self.ops["read_digest"] += 1
+        yield from self.node.cpu_work(_VERB_CPU_S)
+        result = yield from self.tree.get(key)
+        return None if result is None else result[1]
+
+    def _handle_scan(self, payload) -> Generator:
+        """Token-order scan over this node's local range."""
+        start_key, limit = payload
+        self.ops["scan"] += 1
+        yield from self.node.cpu_work(_VERB_CPU_S)
+        rows = yield from self.tree.scan(start_key, limit)
+        return rows
+
+    # -- local fast paths (coordinator == replica) -----------------------
+
+    def local_mutate(self, key: str, value, size: int,
+                     timestamp: float) -> Generator:
+        result = yield from self._handle_mutate((key, value, size, timestamp))
+        return result
+
+    def local_read_data(self, key: str) -> Generator:
+        result = yield from self._handle_read_data(key)
+        return result
+
+    def local_read_digest(self, key: str) -> Generator:
+        result = yield from self._handle_read_digest(key)
+        return result
+
+    def newest_timestamp(self, key: str) -> Optional[float]:
+        """Zero-cost inspection for tests/probes (no simulated I/O)."""
+        best: Optional[float] = None
+        for memtable in [self.tree.active, *self.tree.flushing]:
+            found = memtable.get(key)
+            if found is not None and (best is None or found[1] > best):
+                best = found[1]
+        for table in self.tree.sstables:
+            found = table.get(key)
+            if found is not None and (best is None or found[1] > best):
+                best = found[1]
+        return best

@@ -1,0 +1,75 @@
+"""Token ring and SimpleStrategy replica placement.
+
+Record keys in this repo are already scrambled (FNV over the insertion
+index — see :mod:`repro.keyspace`), so the partitioner treats the
+numeric key suffix as the token directly; statistically this matches a
+random-partitioner hash while keeping key order == token order, which
+lets the same keys drive both databases.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.keyspace import KEY_DOMAIN, token_of
+
+__all__ = ["TokenRing"]
+
+
+class TokenRing:
+    """Virtual-node token ring with SimpleStrategy placement."""
+
+    def __init__(self, node_ids: list[int], vnodes: int, rng) -> None:
+        if not node_ids:
+            raise ValueError("ring needs at least one node")
+        self.node_ids = list(node_ids)
+        self.vnodes = vnodes
+        #: Sorted ring positions and the owning node of each.
+        self._tokens: list[int] = []
+        self._owners: list[int] = []
+        taken: set[int] = set()
+        pairs: list[tuple[int, int]] = []
+        for node_id in node_ids:
+            for _ in range(vnodes):
+                token = rng.randrange(KEY_DOMAIN)
+                while token in taken:
+                    token = rng.randrange(KEY_DOMAIN)
+                taken.add(token)
+                pairs.append((token, node_id))
+        pairs.sort()
+        self._tokens = [t for t, _ in pairs]
+        self._owners = [o for _, o in pairs]
+
+    def primary_index(self, token: int) -> int:
+        """Ring position owning ``token`` (first vnode clockwise)."""
+        idx = bisect.bisect_right(self._tokens, token)
+        return idx % len(self._tokens)
+
+    def replicas_for_token(self, token: int, replication: int) -> list[int]:
+        """SimpleStrategy: walk clockwise, collect distinct nodes.
+
+        The first element is the *main replica* — the paper notes Cassandra
+        orders replicas deterministically and always involves the first.
+        """
+        replication = min(replication, len(self.node_ids))
+        replicas: list[int] = []
+        idx = self.primary_index(token)
+        steps = 0
+        while len(replicas) < replication and steps < len(self._tokens):
+            owner = self._owners[(idx + steps) % len(self._tokens)]
+            if owner not in replicas:
+                replicas.append(owner)
+            steps += 1
+        return replicas
+
+    def replicas_for_key(self, key: str, replication: int) -> list[int]:
+        return self.replicas_for_token(token_of(key), replication)
+
+    def ownership_fractions(self) -> dict[int, float]:
+        """Fraction of the token space each node primarily owns."""
+        totals = {n: 0 for n in self.node_ids}
+        n = len(self._tokens)
+        for i, owner in enumerate(self._owners):
+            start = self._tokens[i - 1] if i else self._tokens[-1] - KEY_DOMAIN
+            totals[owner] += self._tokens[i] - start
+        return {n: t / KEY_DOMAIN for n, t in totals.items()}

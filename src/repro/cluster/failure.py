@@ -1,0 +1,55 @@
+"""Failure injection.
+
+The paper's related-work section (Pokluda et al.) benchmarks failover by
+killing a node mid-run and watching latency/throughput.  The injector
+schedules crashes and restarts against a :class:`~repro.cluster.topology.Cluster`
+so the same probe can be scripted here (see ``examples/failover.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.cluster.topology import Cluster
+
+__all__ = ["CrashEvent", "FailureInjector"]
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One scheduled crash: node ``node_id`` dies at ``at_s`` for ``down_s``."""
+
+    node_id: int
+    at_s: float
+    #: How long the node stays down; ``None`` means it never restarts.
+    down_s: Optional[float] = None
+
+
+class FailureInjector:
+    """Executes a crash schedule and records what actually happened."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        #: (time, node_id, "crash" | "restart") tuples, in occurrence order.
+        self.log: list[tuple[float, int, str]] = []
+
+    def schedule(self, event: CrashEvent) -> None:
+        """Arm one crash (and optional restart) as a simulation process."""
+        self.cluster.env.process(self._run(event),
+                                 name=f"failure-{event.node_id}")
+
+    def schedule_all(self, events: list[CrashEvent]) -> None:
+        for event in events:
+            self.schedule(event)
+
+    def _run(self, event: CrashEvent) -> Generator:
+        env = self.cluster.env
+        if event.at_s > env.now:
+            yield env.timeout(event.at_s - env.now)
+        self.cluster.kill(event.node_id)
+        self.log.append((env.now, event.node_id, "crash"))
+        if event.down_s is not None:
+            yield env.timeout(event.down_s)
+            self.cluster.restart(event.node_id)
+            self.log.append((env.now, event.node_id, "restart"))

@@ -1,0 +1,192 @@
+"""Geo-distributed topology (the paper's §6 future work).
+
+The paper concludes that a single rack "cannot form a convincing testbed
+for more complicated tests such as geo-read latency test, partition test
+and availability test" and calls for a geo-distributed testbed.  This
+module provides one: nodes are grouped into named datacenters, and
+message latency between two nodes is looked up from a WAN latency matrix
+instead of the in-rack constant.
+
+Distances default to the three regions of Bermbach et al.'s experiment
+(the consistency-measurement work the paper cites in §5): Western Europe,
+Northern California, Singapore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.cluster.nic import NetworkSpec, Nic
+from repro.cluster.node import Node, NodeSpec
+from repro.sim.kernel import Environment
+from repro.sim.rng import RngRegistry
+
+__all__ = ["GeoCluster", "GeoSpec", "DEFAULT_REGION_RTTS"]
+
+#: One-way latencies (seconds) between the example regions, roughly the
+#: public round-trip figures halved: EU <-> US-West ~ 150 ms RTT,
+#: EU <-> Singapore ~ 180 ms, US-West <-> Singapore ~ 170 ms.
+DEFAULT_REGION_RTTS: dict[frozenset, float] = {
+    frozenset({"eu-west", "us-west"}): 0.075,
+    frozenset({"eu-west", "ap-southeast"}): 0.090,
+    frozenset({"us-west", "ap-southeast"}): 0.085,
+}
+
+
+@dataclass(frozen=True)
+class GeoSpec:
+    """A multi-datacenter deployment description."""
+
+    #: Datacenter name -> number of server nodes in it.
+    datacenters: dict = field(default_factory=lambda: {
+        "eu-west": 5, "us-west": 5, "ap-southeast": 5})
+    #: Which datacenter hosts the (single) client node.
+    client_datacenter: str = "eu-west"
+    #: One-way inter-DC latency (seconds), keyed by frozenset of DC names.
+    region_latency_s: dict = field(
+        default_factory=lambda: dict(DEFAULT_REGION_RTTS))
+    #: One-way latency between nodes of the same DC (in-rack).
+    local_latency_s: float = 0.00003
+    #: Inter-DC usable bandwidth per flow (bytes/s) — WAN links are far
+    #: thinner than the in-rack GigE.
+    wan_bandwidth_bps: float = 30e6
+    node: NodeSpec = field(default_factory=NodeSpec)
+    #: Fixed CPU per RPC message (matches ClusterSpec.rpc_cpu_s).
+    rpc_cpu_s: float = 0.000025
+    envelope_bytes: int = 120
+
+
+class _GeoNetwork:
+    """Latency/bandwidth lookup across datacenters.
+
+    Duck-type compatible with :class:`repro.cluster.nic.Network` so the
+    RPC layer and the databases work unmodified on a geo cluster.
+    """
+
+    def __init__(self, env: Environment, geo: "GeoCluster", rng) -> None:
+        self.env = env
+        self.geo = geo
+        self._rng = rng
+        self.messages = 0
+
+    def transit(self, src: Nic, dst: Nic, size: int) -> Generator:
+        self.messages += 1
+        yield from src.send(size)
+        src_dc = self.geo.datacenter_of_nic(src)
+        dst_dc = self.geo.datacenter_of_nic(dst)
+        spec = self.geo.spec
+        if src_dc == dst_dc:
+            base = spec.local_latency_s
+            extra = 0.0
+        else:
+            base = spec.region_latency_s[frozenset({src_dc, dst_dc})]
+            # WAN serialization at the thinner inter-DC bandwidth.
+            extra = size / spec.wan_bandwidth_bps
+        factor = 0.7 + self._rng.expovariate(1.0 / 0.6)
+        yield self.env.timeout(base * factor + extra)
+        yield from dst.receive(size)
+
+
+class GeoCluster:
+    """A multi-datacenter cluster, API-compatible with
+    :class:`repro.cluster.topology.Cluster`.
+
+    Node ids are assigned datacenter by datacenter in the order of
+    ``spec.datacenters``; the client node comes last (mirroring the
+    single-rack layout, where the last node hosts the YCSB client).
+    """
+
+    def __init__(self, env: Environment, spec: GeoSpec,
+                 rngs: RngRegistry) -> None:
+        self.env = env
+        self.spec = spec
+        self.rngs = rngs
+        self.nodes: list[Node] = []
+        #: node_id -> datacenter name.
+        self.node_datacenter: dict[int, str] = {}
+        self._nic_datacenter: dict[int, str] = {}
+        node_id = 0
+        for dc_name, count in spec.datacenters.items():
+            for _ in range(count):
+                node = Node(env, node_id, spec.node,
+                            rngs.stream(f"disk.{node_id}"))
+                self.nodes.append(node)
+                self.node_datacenter[node_id] = dc_name
+                self._nic_datacenter[id(node.nic)] = dc_name
+                node_id += 1
+        client = Node(env, node_id, spec.node,
+                      rngs.stream(f"disk.{node_id}"))
+        self.nodes.append(client)
+        self.node_datacenter[node_id] = spec.client_datacenter
+        self._nic_datacenter[id(client.nic)] = spec.client_datacenter
+
+        self.network = _GeoNetwork(env, self, rngs.stream("geo.network"))
+        self.rpc_count = 0
+
+    # -- Cluster API compatibility ----------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def kill(self, node_id: int) -> None:
+        self.nodes[node_id].alive = False
+
+    def restart(self, node_id: int) -> None:
+        self.nodes[node_id].alive = True
+
+    def partition_datacenter(self, dc_name: str) -> list[int]:
+        """Cut a whole datacenter off (kill all its nodes); returns ids."""
+        cut = [nid for nid, dc in self.node_datacenter.items()
+               if dc == dc_name]
+        for node_id in cut:
+            self.kill(node_id)
+        return cut
+
+    def heal_datacenter(self, dc_name: str) -> None:
+        for node_id, dc in self.node_datacenter.items():
+            if dc == dc_name:
+                self.restart(node_id)
+
+    def datacenter_of(self, node_id: int) -> str:
+        return self.node_datacenter[node_id]
+
+    def datacenter_of_nic(self, nic: Nic) -> str:
+        return self._nic_datacenter[id(nic)]
+
+    def servers_in(self, dc_name: str) -> list[int]:
+        """Server node ids of one datacenter (excludes the client node)."""
+        client_id = len(self.nodes) - 1
+        return [nid for nid, dc in self.node_datacenter.items()
+                if dc == dc_name and nid != client_id]
+
+    # -- RPC (same protocol as Cluster) ---------------------------------
+
+    def _rpc_body(self, src, dst, verb, payload, request_bytes,
+                  response_bytes):
+        from repro.cluster.topology import Cluster
+        return Cluster._rpc_body(self, src, dst, verb, payload,
+                                 request_bytes, response_bytes)
+
+    def call(self, src, dst, verb, payload=None, request_bytes=0,
+             response_bytes=0, timeout: Optional[float] = None):
+        from repro.cluster.topology import Cluster
+        return Cluster.call(self, src, dst, verb, payload, request_bytes,
+                            response_bytes, timeout)
+
+    def call_async(self, src, dst, verb, payload=None, request_bytes=0,
+                   response_bytes=0, timeout: Optional[float] = None):
+        from repro.cluster.topology import Cluster
+        return Cluster.call_async(self, src, dst, verb, payload,
+                                  request_bytes, response_bytes, timeout)
+
+    def _call_catching(self, src, dst, verb, payload, request_bytes,
+                       response_bytes, timeout):
+        from repro.cluster.topology import Cluster
+        return Cluster._call_catching(self, src, dst, verb, payload,
+                                      request_bytes, response_bytes,
+                                      timeout)

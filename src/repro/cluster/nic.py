@@ -1,0 +1,92 @@
+"""Network model: per-node NICs joined by one rack switch.
+
+A message from node A to node B costs:
+
+- serialization on A's egress NIC (size / bandwidth, queued if busy),
+- a fixed propagation + switch + kernel-stack latency,
+- serialization on B's ingress NIC.
+
+Holding the NIC resource for the serialization time makes bandwidth a real
+shared bottleneck: a node fanning a mutation out to five replicas pays for
+five back-to-back serializations, which is exactly the effect the paper's
+replication-factor sweeps exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.sim.kernel import Environment
+from repro.sim.resources import Resource
+
+__all__ = ["Network", "NetworkSpec", "Nic"]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Gigabit-ethernet, single-rack parameters."""
+
+    #: Usable NIC bandwidth (bytes/second).  GigE minus framing overhead.
+    bandwidth_bps: float = 117e6
+    #: One-way latency: NIC + switch + kernel stack, in-rack.
+    base_latency_s: float = 0.00003
+    #: Fixed per-message size overhead (headers), bytes.
+    header_bytes: int = 60
+    #: Per-message latency variability: the delay is
+    #: ``base * (floor + Exp(tail))`` — kernel scheduling and interrupt
+    #: coalescing give in-rack RTTs an exponential tail, which is what
+    #: makes wait-for-the-slowest-replica operations (write ALL, quorum
+    #: digests) systematically slower than wait-for-the-fastest.
+    latency_floor: float = 0.7
+    latency_tail: float = 0.6
+
+
+class Nic:
+    """A full-duplex NIC: independent egress and ingress channels."""
+
+    def __init__(self, env: Environment, spec: NetworkSpec) -> None:
+        self.env = env
+        self.spec = spec
+        self._egress = Resource(env, capacity=1)
+        self._ingress = Resource(env, capacity=1)
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def _serialize(self, channel: Resource, size: int) -> Generator:
+        with channel.request() as req:
+            yield req
+            yield self.env.timeout(
+                (size + self.spec.header_bytes) / self.spec.bandwidth_bps)
+
+    def send(self, size: int) -> Generator:
+        self.bytes_sent += size
+        yield from self._serialize(self._egress, size)
+
+    def receive(self, size: int) -> Generator:
+        self.bytes_received += size
+        yield from self._serialize(self._ingress, size)
+
+
+class Network:
+    """The rack fabric: computes transit delay between two NICs."""
+
+    def __init__(self, env: Environment, spec: NetworkSpec, rng) -> None:
+        self.env = env
+        self.spec = spec
+        self._rng = rng
+        self.messages = 0
+
+    def transit(self, src: Nic, dst: Nic, size: int) -> Generator:
+        """Deliver ``size`` bytes from ``src`` to ``dst`` (a process).
+
+        Completes when the last byte has been received.
+        """
+        self.messages += 1
+        yield from src.send(size)
+        spec = self.spec
+        factor = spec.latency_floor
+        if spec.latency_tail:
+            factor += self._rng.expovariate(1.0 / spec.latency_tail)
+        yield self.env.timeout(spec.base_latency_s * factor)
+        yield from dst.receive(size)

@@ -1,0 +1,107 @@
+"""A cluster node: cores + RAM + one disk + one NIC.
+
+Matches one machine of the paper's testbed: two Xeon L5640 processors
+(2 × 6 cores × 2 hyper-threads = 24 logical cores), 32 GB of RAM, one hard
+drive, gigabit ethernet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator
+
+from repro.cluster.disk import Disk, DiskSpec
+from repro.cluster.nic import NetworkSpec, Nic
+from repro.sim.kernel import Environment
+from repro.sim.resources import Resource
+
+__all__ = ["Node", "NodeSpec"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Per-machine hardware parameters."""
+
+    #: Logical cores (hyper-threads) usable by request handlers.
+    cores: int = 24
+    #: RAM available to caches (bytes).  The storage layer draws its block
+    #: cache and memtable budgets from this.
+    ram_bytes: int = 32 * 1024**3
+    disk: DiskSpec = DiskSpec()
+    network: NetworkSpec = NetworkSpec()
+    #: JVM stop-the-world hiccups (mean seconds between pauses and mean
+    #: pause length, both exponential; 0 disables).  Off by default: the
+    #: per-message exponential latency tail already gives
+    #: wait-for-every-replica operations their straggler tax *smoothly*,
+    #: whereas rare multi-millisecond pauses make short benchmark cells
+    #: statistically unstable.  Enable for tail-latency studies.
+    gc_interval_s: float = 0.0
+    gc_pause_s: float = 0.0
+
+
+class Node:
+    """One simulated machine, addressable by ``node_id``."""
+
+    def __init__(self, env: Environment, node_id: int, spec: NodeSpec,
+                 rng) -> None:
+        self.env = env
+        self.node_id = node_id
+        self.spec = spec
+        self.cpu = Resource(env, capacity=spec.cores)
+        self.disk = Disk(env, spec.disk, rng)
+        self.nic = Nic(env, spec.network)
+        #: RPC verb -> handler.  A handler is a callable
+        #: ``handler(payload) -> Generator`` whose return value becomes the
+        #: RPC response payload.
+        self.handlers: dict[str, Callable[[object], Generator]] = {}
+        self.alive = True
+        self.cpu_time = 0.0
+        #: Handlers stall until this time while a GC pause is in effect.
+        self.paused_until = 0.0
+        self.gc_pauses = 0
+        self._rng = rng
+        self._gc_enabled = spec.gc_interval_s > 0 and spec.gc_pause_s > 0
+        self._next_gc_at = (rng.expovariate(1.0 / spec.gc_interval_s)
+                            if self._gc_enabled else float("inf"))
+
+    def register(self, verb: str, handler: Callable[[object], Generator]) -> None:
+        """Install the handler for RPC ``verb`` on this node."""
+        if verb in self.handlers:
+            raise ValueError(f"verb {verb!r} already registered on node {self.node_id}")
+        self.handlers[verb] = handler
+
+    def cpu_work(self, seconds: float) -> Generator:
+        """Hold one core for ``seconds`` of computation (a process).
+
+        Stalls first if a GC pause is in effect — application threads do
+        not run during a stop-the-world collection.
+        """
+        if seconds <= 0:
+            return
+        self._advance_gc_schedule()
+        if self.paused_until > self.env.now:
+            yield self.env.timeout(self.paused_until - self.env.now)
+        with self.cpu.request() as req:
+            yield req
+            self.cpu_time += seconds
+            yield self.env.timeout(seconds)
+
+    def _advance_gc_schedule(self) -> None:
+        """Materialize the GC pause schedule up to "now".
+
+        The schedule is evaluated lazily (no background process), so an
+        idle simulation terminates; pauses that ended unobserved have no
+        effect, exactly as in reality.
+        """
+        while self._next_gc_at <= self.env.now:
+            pause = self._rng.expovariate(1.0 / self.spec.gc_pause_s)
+            end = self._next_gc_at + pause
+            if end > self.env.now:
+                self.paused_until = max(self.paused_until, end)
+            self.gc_pauses += 1
+            self._next_gc_at = end + self._rng.expovariate(
+                1.0 / self.spec.gc_interval_s)
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return f"<Node {self.node_id} {state}>"

@@ -1,0 +1,155 @@
+"""Cluster wiring and the RPC transport.
+
+The paper's testbed is 16 machines in one rack; the cluster builds the
+nodes, the shared rack fabric, and an RPC layer with the semantics the
+database models need:
+
+- request and response each pay NIC serialization + switch latency,
+- both sides pay a small fixed CPU cost (kernel + (de)serialization),
+- calls to a dead node never produce a response — the caller either
+  times out (:class:`RpcTimeout`) or, with no timeout configured, fails
+  fast with :class:`DeadNodeError` to avoid deadlocking the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from repro.cluster.nic import Network, NetworkSpec
+from repro.cluster.node import Node, NodeSpec
+from repro.sim.kernel import AnyOf, Environment, Process
+from repro.sim.rng import RngRegistry
+
+__all__ = ["Cluster", "ClusterSpec", "DeadNodeError", "RpcTimeout"]
+
+#: Sentinel response meaning "the callee was dead; no response will come".
+_NO_RESPONSE = object()
+
+
+class RpcTimeout(Exception):
+    """An RPC did not complete within its deadline."""
+
+
+class DeadNodeError(Exception):
+    """An RPC without a deadline targeted a dead node."""
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Whole-testbed parameters (defaults follow the paper's rack)."""
+
+    #: Total machines, including the one reserved for the YCSB client.
+    n_nodes: int = 16
+    node: NodeSpec = field(default_factory=NodeSpec)
+    #: Fixed CPU time charged per RPC message on each side (request
+    #: handling, serialization, kernel crossings).
+    rpc_cpu_s: float = 0.000025
+    #: RPC sizes are payload + this request/response envelope.
+    envelope_bytes: int = 120
+
+
+class Cluster:
+    """Builds nodes and provides the RPC transport between them."""
+
+    def __init__(self, env: Environment, spec: ClusterSpec,
+                 rngs: RngRegistry) -> None:
+        self.env = env
+        self.spec = spec
+        self.rngs = rngs
+        self.network = Network(env, spec.node.network, rngs.stream("network"))
+        self.nodes: list[Node] = [
+            Node(env, i, spec.node, rngs.stream(f"disk.{i}"))
+            for i in range(spec.n_nodes)
+        ]
+        self.rpc_count = 0
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def kill(self, node_id: int) -> None:
+        """Crash a node: it stops answering RPCs until restarted."""
+        self.nodes[node_id].alive = False
+
+    def restart(self, node_id: int) -> None:
+        """Bring a crashed node back (state is whatever the DB model kept)."""
+        self.nodes[node_id].alive = True
+
+    # -- RPC -----------------------------------------------------------
+
+    def _rpc_body(self, src: Node, dst: Node, verb: str, payload: Any,
+                  request_bytes: int, response_bytes: int) -> Generator:
+        envelope = self.spec.envelope_bytes
+        yield from src.cpu_work(self.spec.rpc_cpu_s)
+        yield from self.network.transit(src.nic, dst.nic,
+                                        request_bytes + envelope)
+        if not dst.alive:
+            return _NO_RESPONSE
+        yield from dst.cpu_work(self.spec.rpc_cpu_s)
+        handler = dst.handlers.get(verb)
+        if handler is None:
+            raise LookupError(f"node {dst.node_id} has no handler for {verb!r}")
+        result = yield from handler(payload)
+        if not dst.alive:
+            return _NO_RESPONSE
+        yield from self.network.transit(dst.nic, src.nic,
+                                        response_bytes + envelope)
+        yield from src.cpu_work(self.spec.rpc_cpu_s)
+        return result
+
+    def call(self, src: Node, dst: Node, verb: str, payload: Any = None,
+             request_bytes: int = 0, response_bytes: int = 0,
+             timeout: Optional[float] = None) -> Generator:
+        """Perform an RPC from the calling process (``yield from`` this).
+
+        Returns the handler's return value.  Raises :class:`RpcTimeout`
+        when ``timeout`` elapses first, or :class:`DeadNodeError` when the
+        callee is dead and no timeout was given.
+        """
+        self.rpc_count += 1
+        if timeout is None:
+            result = yield from self._rpc_body(
+                src, dst, verb, payload, request_bytes, response_bytes)
+            if result is _NO_RESPONSE:
+                raise DeadNodeError(
+                    f"rpc {verb!r} to dead node {dst.node_id} (no timeout set)")
+            return result
+        body = self.env.process(
+            self._rpc_body(src, dst, verb, payload, request_bytes,
+                           response_bytes),
+            name=f"rpc-{verb}-{dst.node_id}")
+        deadline = self.env.timeout(timeout)
+        outcome = yield AnyOf(self.env, [body, deadline])
+        if body in outcome and outcome[body] is not _NO_RESPONSE:
+            return outcome[body]
+        if body in outcome:
+            # The callee was dead: model the client waiting out its timer.
+            yield deadline
+        raise RpcTimeout(f"rpc {verb!r} to node {dst.node_id} timed out "
+                         f"after {timeout}s")
+
+    def call_async(self, src: Node, dst: Node, verb: str, payload: Any = None,
+                   request_bytes: int = 0, response_bytes: int = 0,
+                   timeout: Optional[float] = None) -> Process:
+        """Like :meth:`call` but returns a :class:`Process` to wait on.
+
+        Use for fan-out:  fire several calls, then ``yield AllOf(...)`` /
+        ``AnyOf(...)`` over the returned processes.
+        """
+        return self.env.process(
+            self._call_catching(src, dst, verb, payload, request_bytes,
+                                response_bytes, timeout),
+            name=f"rpc-async-{verb}-{dst.node_id}")
+
+    def _call_catching(self, src: Node, dst: Node, verb: str, payload: Any,
+                       request_bytes: int, response_bytes: int,
+                       timeout: Optional[float]) -> Generator:
+        # Fan-out helpers must not fail the whole condition when a single
+        # callee is dead or slow, so convert failures into values.
+        try:
+            result = yield from self.call(src, dst, verb, payload,
+                                          request_bytes, response_bytes,
+                                          timeout)
+            return result
+        except (RpcTimeout, DeadNodeError) as exc:
+            return exc

@@ -1,0 +1,62 @@
+"""Experiment orchestration: the repository's public face.
+
+Compose a cluster, a database, and a YCSB workload into one experiment
+cell (:mod:`repro.core.experiment`), sweep the paper's knobs
+(:mod:`repro.core.sweep`), and render paper-style tables
+(:mod:`repro.core.report`).
+"""
+
+from repro.core.config import (
+    CassandraConfig,
+    ExperimentConfig,
+    HBaseConfig,
+    default_micro_config,
+    default_stress_config,
+)
+from repro.core.experiment import (
+    ExperimentResult,
+    ExperimentSession,
+    run_experiment,
+)
+from repro.core.report import (
+    render_consistency_sweep,
+    render_micro_sweep,
+    render_series,
+    render_stress_sweep,
+    render_table,
+)
+from repro.core.sla import Sla, SlaReport, evaluate_sla, max_throughput_under_sla
+from repro.core.sweep import (
+    CONSISTENCY_MODES,
+    QUICK_SCALE,
+    SweepScale,
+    consistency_stress_sweep,
+    replication_micro_sweep,
+    replication_stress_sweep,
+)
+
+__all__ = [
+    "CONSISTENCY_MODES",
+    "CassandraConfig",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ExperimentSession",
+    "HBaseConfig",
+    "QUICK_SCALE",
+    "Sla",
+    "SlaReport",
+    "SweepScale",
+    "consistency_stress_sweep",
+    "default_micro_config",
+    "default_stress_config",
+    "evaluate_sla",
+    "max_throughput_under_sla",
+    "render_consistency_sweep",
+    "render_micro_sweep",
+    "render_series",
+    "render_stress_sweep",
+    "render_table",
+    "replication_micro_sweep",
+    "replication_stress_sweep",
+    "run_experiment",
+]

@@ -1,0 +1,123 @@
+"""``repro-bench``: regenerate the paper's tables and figures from the CLI.
+
+Examples::
+
+    repro-bench table1
+    repro-bench fig1 --db cassandra --quick
+    repro-bench fig2 --quick
+    repro-bench fig3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.report import (
+    render_consistency_sweep,
+    render_micro_sweep,
+    render_stress_sweep,
+    render_table,
+)
+from repro.core.sweep import (
+    QUICK_SCALE,
+    SweepScale,
+    consistency_stress_sweep,
+    replication_micro_sweep,
+    replication_stress_sweep,
+)
+from repro.ycsb.workload import STRESS_WORKLOADS
+
+__all__ = ["main"]
+
+
+def _scale(args) -> SweepScale:
+    return QUICK_SCALE if args.quick else SweepScale()
+
+
+def _rfs(args) -> list[int]:
+    return list(range(1, args.max_rf + 1))
+
+
+def cmd_table1(_args) -> int:
+    rows = []
+    for spec in STRESS_WORKLOADS.values():
+        mix = []
+        if spec.read_proportion:
+            mix.append(f"read {spec.read_proportion:.0%}")
+        if spec.update_proportion:
+            mix.append(f"update {spec.update_proportion:.0%}")
+        if spec.insert_proportion:
+            mix.append(f"insert {spec.insert_proportion:.0%}")
+        if spec.scan_proportion:
+            mix.append(f"scan {spec.scan_proportion:.0%}")
+        if spec.read_modify_write_proportion:
+            mix.append(f"rmw {spec.read_modify_write_proportion:.0%}")
+        rows.append([spec.name, spec.typical_usage, ", ".join(mix),
+                     spec.request_distribution])
+    print(render_table(
+        ["Workload", "Typical usage", "Operations", "Distribution"], rows,
+        title="Table 1: workloads of the stress benchmarks"))
+    return 0
+
+
+def cmd_fig1(args) -> int:
+    for db in args.dbs:
+        sweep = replication_micro_sweep(db, _rfs(args), _scale(args))
+        print(render_micro_sweep(db, sweep))
+        print()
+    return 0
+
+
+def cmd_fig2(args) -> int:
+    for db in args.dbs:
+        sweep = replication_stress_sweep(db, _rfs(args), _scale(args))
+        print(render_stress_sweep(db, sweep))
+        print()
+    return 0
+
+
+def cmd_fig3(args) -> int:
+    sweep = consistency_stress_sweep(_scale(args))
+    print(render_consistency_sweep(sweep))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the paper's tables and figures")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table1 = sub.add_parser("table1", help="print Table 1")
+    p_table1.set_defaults(func=cmd_table1)
+
+    for name, func, help_text in [
+        ("fig1", cmd_fig1, "micro benchmark for replication"),
+        ("fig2", cmd_fig2, "stress benchmark for replication"),
+        ("fig3", cmd_fig3, "stress benchmark for consistency"),
+    ]:
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--quick", action="store_true",
+                       help="small scale for fast runs")
+        p.add_argument("--max-rf", type=int, default=6,
+                       help="sweep replication factors 1..N (default 6)")
+        if name in ("fig1", "fig2"):
+            p.add_argument("--db", dest="dbs", action="append",
+                           choices=["hbase", "cassandra"],
+                           help="database(s) to run (default: both)")
+        p.set_defaults(func=func)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "dbs", None) is None and args.command in ("fig1", "fig2"):
+        args.dbs = ["hbase", "cassandra"]
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

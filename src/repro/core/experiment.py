@@ -1,0 +1,206 @@
+"""Run benchmark cells: build, load, (optionally) reuse, measure.
+
+Two entry points:
+
+- :func:`run_experiment` — one config in, one result out.
+- :class:`ExperimentSession` — build + load a deployment once, then run
+  several measured cells against it (the paper runs the five stress
+  workloads back-to-back on the same loaded cluster per replication
+  factor, and the consistency rounds back-to-back at RF 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.cluster.energy import EnergyMeter
+from typing import Optional
+
+from repro.cassandra.client import CassandraSession
+from repro.cassandra.consistency import ConsistencyLevel
+from repro.cassandra.deployment import CassandraCluster, CassandraSpec
+from repro.cluster.topology import Cluster, ClusterSpec
+from repro.core.config import ExperimentConfig
+from repro.hbase.client import HBaseClient
+from repro.hbase.deployment import HBaseCluster, HBaseSpec
+from repro.sim.kernel import Environment
+from repro.sim.rng import RngRegistry
+from repro.ycsb.client import LoadResult, RunResult, YcsbClient
+from repro.ycsb.db import CassandraBinding, DbBinding, HBaseBinding
+from repro.ycsb.workload import Workload, WorkloadSpec
+
+__all__ = ["ExperimentResult", "ExperimentSession", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Everything one cell produced."""
+
+    config: ExperimentConfig
+    load: LoadResult
+    run: RunResult
+    #: Engine-internal counters (read repairs, cache hit rates, ...).
+    db_stats: dict
+
+
+class ExperimentSession:
+    """One deployed + loaded database, ready to run measured cells."""
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self.config = config
+        self.env = Environment()
+        self.rngs = RngRegistry(config.seed)
+        self.cluster = Cluster(self.env, ClusterSpec(n_nodes=config.n_nodes),
+                               self.rngs)
+        self.client_node = self.cluster.node(config.n_nodes - 1)
+        self._loaded = False
+        self.hbase: Optional[HBaseCluster] = None
+        self.cassandra: Optional[CassandraCluster] = None
+        self._session: Optional[CassandraSession] = None
+
+        if config.db == "hbase":
+            hc = config.hbase
+            self.hbase = HBaseCluster(self.cluster, HBaseSpec(
+                replication=hc.replication,
+                regions_per_server=hc.regions_per_server,
+                storage=config.storage,
+                wal_sync=hc.wal_sync,
+                failure_detection_s=hc.failure_detection_s,
+                region_recovery_s=hc.region_recovery_s,
+            ))
+            self.binding: DbBinding = HBaseBinding(
+                HBaseClient(self.hbase, self.client_node))
+        else:
+            cc = config.cassandra
+            self.cassandra = CassandraCluster(self.cluster, CassandraSpec(
+                replication=cc.replication,
+                vnodes=cc.vnodes,
+                read_repair_chance=cc.read_repair_chance,
+                blocking_read_repair=cc.blocking_read_repair,
+                storage=config.storage,
+            ))
+            self._session = CassandraSession(
+                self.cassandra, self.client_node,
+                read_cl=cc.read_cl, write_cl=cc.write_cl)
+            self.binding = CassandraBinding(self._session)
+
+    def _new_workload(self, spec: WorkloadSpec) -> Workload:
+        return Workload(spec, self.config.record_count,
+                        self.rngs.stream(f"workload.{spec.name}.{self.env.now}"))
+
+    def load(self) -> LoadResult:
+        """Insert the record population (idempotent)."""
+        if self._loaded:
+            raise RuntimeError("session already loaded")
+        workload = self._new_workload(self.config.workload)
+        client = YcsbClient(self.env, self.binding, workload,
+                            self.rngs.stream("client.load"),
+                            client_node=self.client_node)
+        process = self.env.process(
+            client.load(self.config.record_count, self.config.load_threads),
+            name="load")
+        result: LoadResult = self.env.run(until=process)
+        self._settle()
+        self._loaded = True
+        return result
+
+    def _settle(self) -> None:
+        """Let flushes/compactions/repairs drain between cells."""
+        if self.config.settle_s > 0:
+            self.env.run(until=self.env.now + self.config.settle_s)
+
+    def warm(self, operations: Optional[int] = None,
+             workload: Optional[WorkloadSpec] = None) -> None:
+        """Run an unmeasured cache-warming mix (the paper's §6 cold-start
+        countermeasure: "run the tests for a long time" before trusting
+        latency numbers).  Uses a read-heavy mix by default so block
+        caches reach steady state before the first measured cell."""
+        from repro.ycsb.workload import STRESS_WORKLOADS
+        self.run_cell(workload=workload or STRESS_WORKLOADS["read_mostly"],
+                      operation_count=operations or self.config.operation_count,
+                      warmup_fraction=None)
+
+    def run_cell(self, workload: Optional[WorkloadSpec] = None,
+                 operation_count: Optional[int] = None,
+                 target_throughput: Optional[float] = None,
+                 n_threads: Optional[int] = None,
+                 read_cl: Optional[ConsistencyLevel] = None,
+                 write_cl: Optional[ConsistencyLevel] = None,
+                 warmup_fraction: Optional[float] = 0.0) -> RunResult:
+        """Run one measured workload cell on the loaded deployment."""
+        if not self._loaded:
+            raise RuntimeError("call load() before run_cell()")
+        if (read_cl or write_cl) and self._session is None:
+            raise ValueError("consistency levels only apply to Cassandra")
+        if self._session is not None:
+            if read_cl is not None:
+                self._session.read_cl = read_cl
+            if write_cl is not None:
+                self._session.write_cl = write_cl
+        spec = workload or self.config.workload
+        runtime_workload = self._new_workload(spec)
+        client = YcsbClient(self.env, self.binding, runtime_workload,
+                            self.rngs.stream(f"client.run.{self.env.now}"),
+                            client_node=self.client_node)
+        meter = EnergyMeter(self.cluster.nodes)
+        meter.start()
+        process = self.env.process(
+            client.run(operation_count or self.config.operation_count,
+                       n_threads=n_threads or self.config.n_threads,
+                       target_throughput=(target_throughput
+                                          if target_throughput is not None
+                                          else self.config.target_throughput),
+                       warmup_fraction=(1.0 if warmup_fraction is None
+                                        else (warmup_fraction
+                                              or self.config.warmup_fraction))),
+            name="run")
+        result: RunResult = self.env.run(until=process)
+        result = replace(result, energy=meter.stop())
+        self._settle()
+        return result
+
+    def db_stats(self) -> dict:
+        """Engine-internal counters for reports and tests."""
+        stats: dict = {"rpc_count": self.cluster.rpc_count}
+        if self.cassandra is not None:
+            stats["cassandra"] = self.cassandra.total_stats()
+            stats["cache_hit_rate"] = _mean(
+                n.tree.cache.hit_rate for n in self.cassandra.nodes.values())
+            stats["sstables"] = sum(
+                n.tree.n_sstables for n in self.cassandra.nodes.values())
+        if self.hbase is not None:
+            ops = {"put": 0, "get": 0, "scan": 0}
+            for server in self.hbase.regionservers.values():
+                for op, count in server.ops.items():
+                    ops[op] += count
+            stats["hbase"] = ops
+            trees = [r.tree for r in self.hbase.regions if r.tree is not None]
+            stats["cache_hit_rate"] = _mean(t.cache.hit_rate for t in trees)
+            stats["sstables"] = sum(t.n_sstables for t in trees)
+            stats["wal_batches"] = sum(
+                s.wal.batches for s in self.hbase.regionservers.values())
+            stats["wal_appends"] = sum(
+                s.wal.appends for s in self.hbase.regionservers.values())
+        return stats
+
+
+def _mean(values) -> float:
+    items = list(values)
+    return sum(items) / len(items) if items else 0.0
+
+
+def run_experiment(config: ExperimentConfig,
+                   warm: bool = True) -> ExperimentResult:
+    """Convenience: build, load, warm, run one cell, collect stats.
+
+    ``warm`` runs an unmeasured read-heavy pass first so caches reach
+    steady state (the paper's cold-start countermeasure); disable it to
+    measure cold-cache behaviour deliberately.
+    """
+    session = ExperimentSession(config)
+    load = session.load()
+    if warm:
+        session.warm()
+    run = session.run_cell()
+    return ExperimentResult(config=config, load=load, run=run,
+                            db_stats=session.db_stats())

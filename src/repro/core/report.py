@@ -1,0 +1,92 @@
+"""Paper-style text rendering of sweep results."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["render_consistency_sweep", "render_micro_sweep", "render_series",
+           "render_stress_sweep", "render_table"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Fixed-width text table (rows may hold numbers; floats get 1–3 dp)."""
+    def fmt(cell) -> str:
+        if cell is None:
+            return "max"
+        if isinstance(cell, float):
+            if cell >= 100:
+                return f"{cell:.1f}"
+            return f"{cell:.3f}"
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, series: Sequence[tuple[float, float]],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """One figure series as aligned (x, y) rows."""
+    rows = [(x, y) for x, y in series]
+    return render_table([x_label, y_label], rows, title=name)
+
+
+def render_micro_sweep(db: str, sweep: dict) -> str:
+    """Figure 1 panel: mean latency (ms) by op, one row per RF."""
+    ops = sorted({op for per_op in sweep.values() for op in per_op})
+    # Keep the paper's op order where present.
+    preferred = [op for op in ("update", "read", "insert", "scan") if op in ops]
+    ops = preferred + [op for op in ops if op not in preferred]
+    headers = ["RF"] + [f"{op} ms" for op in ops]
+    rows = []
+    for rf in sorted(sweep):
+        rows.append([rf] + [sweep[rf][op]["mean_ms"] for op in ops])
+    return render_table(headers, rows,
+                        title=f"Fig.1 ({db}): micro latency vs replication factor")
+
+
+def render_stress_sweep(db: str, sweep: dict) -> str:
+    """Figure 2 panel: peak throughput and latency, one row per (RF, workload)."""
+    headers = ["RF", "workload", "peak ops/s", "latency ms"]
+    rows = []
+    for rf in sorted(sweep):
+        for workload, cell in sweep[rf].items():
+            rows.append([rf, workload, cell["peak_throughput"],
+                         cell["latency_ms"]])
+    return render_table(
+        headers, rows,
+        title=f"Fig.2 ({db}): stress peak throughput/latency vs replication factor")
+
+
+def render_consistency_sweep(sweep: dict) -> str:
+    """Figure 3: runtime vs target throughput per consistency level."""
+    blocks = []
+    workloads: list[str] = []
+    for per_workload in sweep.values():
+        for name in per_workload:
+            if name not in workloads:
+                workloads.append(name)
+    for workload in workloads:
+        headers = ["target ops/s"] + list(sweep.keys())
+        targets = [t for t, _ in next(iter(sweep.values()))[workload]["series"]]
+        rows = []
+        for i, target in enumerate(targets):
+            row = [target]
+            for mode in sweep:
+                row.append(sweep[mode][workload]["series"][i][1])
+            rows.append(row)
+        blocks.append(render_table(
+            headers, rows,
+            title=f"Fig.3 (cassandra, RF=3): runtime throughput — {workload}"))
+    return "\n\n".join(blocks)

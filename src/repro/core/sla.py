@@ -1,0 +1,103 @@
+"""Service-level-agreement evaluation (the paper's §6 future work).
+
+The paper proposes replacing raw target-throughput stress levels with an
+SLA — "at least p percent of requests get response within l latency
+during a period of time t" — so different clusters can be compared at
+equal user experience.  This module implements that evaluator over the
+timestamped samples :class:`~repro.ycsb.measurements.Measurements`
+collects, plus a helper that finds the highest offered throughput still
+meeting an SLA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.ycsb.measurements import Measurements
+
+__all__ = ["Sla", "SlaReport", "evaluate_sla", "max_throughput_under_sla"]
+
+
+@dataclass(frozen=True)
+class Sla:
+    """p% of requests within ``latency_ms`` over each ``window_s`` window."""
+
+    percentile: float  # e.g. 0.95
+    latency_ms: float
+    window_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.percentile <= 1:
+            raise ValueError("percentile must be in (0, 1]")
+        if self.latency_ms <= 0 or self.window_s <= 0:
+            raise ValueError("latency_ms and window_s must be positive")
+
+
+@dataclass(frozen=True)
+class SlaReport:
+    sla: Sla
+    windows: int
+    compliant_windows: int
+    #: Fraction of *requests* (not windows) within the latency bound.
+    overall_fraction: float
+
+    @property
+    def satisfied(self) -> bool:
+        """Every window met the SLA."""
+        return self.windows > 0 and self.compliant_windows == self.windows
+
+
+def evaluate_sla(measurements: Measurements, sla: Sla) -> SlaReport:
+    """Check every ``window_s`` window of the run against the SLA."""
+    samples = sorted(
+        (t, lat) for op_samples in measurements.samples.values()
+        for t, lat in op_samples)
+    if not samples:
+        return SlaReport(sla=sla, windows=0, compliant_windows=0,
+                         overall_fraction=0.0)
+    bound_s = sla.latency_ms / 1000.0
+    start = samples[0][0]
+    windows: list[list[float]] = []
+    for t, lat in samples:
+        index = int((t - start) / sla.window_s)
+        while len(windows) <= index:
+            windows.append([])
+        windows[index].append(lat)
+    compliant = 0
+    within_total = 0
+    for window in windows:
+        if not window:
+            compliant += 1  # an idle window cannot violate the SLA
+            continue
+        within = sum(1 for lat in window if lat <= bound_s)
+        within_total += within
+        if within / len(window) >= sla.percentile:
+            compliant += 1
+    return SlaReport(
+        sla=sla,
+        windows=len(windows),
+        compliant_windows=compliant,
+        overall_fraction=within_total / len(samples),
+    )
+
+
+def max_throughput_under_sla(run_at_target: Callable[[float], Measurements],
+                             targets: Sequence[float], sla: Sla) -> tuple:
+    """Highest offered target whose run still satisfies the SLA.
+
+    ``run_at_target`` executes one cell and returns its measurements;
+    targets are probed in increasing order.  Returns ``(best_target,
+    reports)`` where ``best_target`` is None if even the lowest target
+    violates the SLA.
+    """
+    best = None
+    reports: list[tuple[float, SlaReport]] = []
+    for target in sorted(targets):
+        report = evaluate_sla(run_at_target(target), sla)
+        reports.append((target, report))
+        if report.satisfied:
+            best = target
+        else:
+            break
+    return best, reports

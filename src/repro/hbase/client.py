@@ -1,0 +1,102 @@
+"""HTable-style client with a cached region map and failover retries."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.cluster.node import Node
+from repro.cluster.topology import Cluster, DeadNodeError, RpcTimeout
+from repro.keyspace import key_for_token, token_of
+from repro.hbase.deployment import HBaseCluster
+
+__all__ = ["HBaseClient"]
+
+
+class HBaseClient:
+    """Issues get/put/scan against the owning RegionServer.
+
+    The region map is cached client-side (as the real client caches META)
+    and refreshed from the HMaster when an operation times out — which is
+    how clients ride out a RegionServer failover.
+    """
+
+    def __init__(self, hbase: HBaseCluster, client_node: Node,
+                 op_timeout_s: float = 5.0, max_retries: int = 4,
+                 retry_backoff_s: float = 0.5) -> None:
+        self.hbase = hbase
+        self.cluster: Cluster = hbase.cluster
+        self.client_node = client_node
+        self.op_timeout_s = op_timeout_s
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        #: region_id -> node_id (META cache).
+        self._assignment = dict(hbase.master.assignment)
+        self.retries = 0
+
+    def _server_node(self, region_id: int) -> Node:
+        return self.cluster.node(self._assignment[region_id])
+
+    def _refresh_assignment(self) -> Generator:
+        self._assignment = yield from self.cluster.call(
+            self.client_node, self.hbase.master_node, "master.locate",
+            request_bytes=30, response_bytes=20 * len(self._assignment),
+            timeout=self.op_timeout_s)
+
+    def _call_region(self, region_id: int, verb: str, payload: Any,
+                     request_bytes: int, response_bytes: int) -> Generator:
+        last_error: Optional[Exception] = None
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                self.retries += 1
+                yield self.cluster.env.timeout(self.retry_backoff_s * attempt)
+                yield from self._refresh_assignment()
+            try:
+                result = yield from self.cluster.call(
+                    self.client_node, self._server_node(region_id), verb,
+                    payload, request_bytes, response_bytes,
+                    timeout=self.op_timeout_s)
+                return result
+            except (RpcTimeout, DeadNodeError) as exc:
+                last_error = exc
+        raise RpcTimeout(f"{verb} on region {region_id} failed after "
+                         f"{self.max_retries} retries") from last_error
+
+    # -- operations -----------------------------------------------------
+
+    def put(self, key: str, value: Any, size: int) -> Generator:
+        """Insert or update one row."""
+        region = self.hbase.region_for_token(token_of(key))
+        payload = (region.region_id, key, value, size,
+                   self.cluster.env.now)
+        result = yield from self._call_region(
+            region.region_id, "rs.put", payload,
+            request_bytes=size + 60, response_bytes=20)
+        return result
+
+    def get(self, key: str, expected_bytes: int = 1024) -> Generator:
+        """Read one row; returns ``(value, timestamp)`` or None."""
+        region = self.hbase.region_for_token(token_of(key))
+        result = yield from self._call_region(
+            region.region_id, "rs.get", (region.region_id, key),
+            request_bytes=60, response_bytes=expected_bytes)
+        return result
+
+    def scan(self, start_key: str, limit: int,
+             record_bytes: int = 1024) -> Generator:
+        """Range scan from ``start_key``, possibly spanning regions."""
+        rows: list[tuple[str, Any, float]] = []
+        region = self.hbase.region_for_token(token_of(start_key))
+        cursor = start_key
+        while True:
+            remaining = limit - len(rows)
+            batch = yield from self._call_region(
+                region.region_id, "rs.scan",
+                (region.region_id, cursor, remaining),
+                request_bytes=70, response_bytes=record_bytes * remaining)
+            rows.extend(batch)
+            next_index = region.region_id + 1
+            if len(rows) >= limit or next_index >= len(self.hbase.regions):
+                break
+            region = self.hbase.regions[next_index]
+            cursor = key_for_token(region.start_token)
+        return rows[:limit]

@@ -1,0 +1,79 @@
+"""HMaster: region assignment and failover."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.cluster.node import Node
+from repro.cluster.topology import Cluster
+from repro.hbase.region import Region
+from repro.hbase.regionserver import RegionServer
+
+__all__ = ["HMaster"]
+
+
+class HMaster:
+    """Owns the region → RegionServer assignment.
+
+    A background monitor plays the ZooKeeper session-expiry role: when a
+    RegionServer's node dies, its regions are redistributed round-robin
+    over the survivors after ``detection_s``, and each moved region pays
+    ``recovery_s`` of WAL-replay unavailability.
+    """
+
+    def __init__(self, cluster: Cluster, node: Node,
+                 servers: dict[int, RegionServer], regions: list[Region],
+                 detection_s: float = 3.0, recovery_s: float = 2.0) -> None:
+        self.cluster = cluster
+        self.node = node
+        self.servers = servers
+        self.regions = {r.region_id: r for r in regions}
+        #: region_id -> node_id of the serving RegionServer.
+        self.assignment: dict[int, int] = {}
+        self.detection_s = detection_s
+        self.recovery_s = recovery_s
+        self.failovers: list[tuple[float, int, int]] = []
+        self._handled_deaths: set[int] = set()
+        node.register("master.locate", self._handle_locate)
+        cluster.env.process(self._monitor(), name="hmaster-monitor")
+
+    def assign(self, region: Region, server: RegionServer) -> None:
+        """Record (and effect) one region's assignment."""
+        previous = self.assignment.get(region.region_id)
+        if previous is not None and previous in self.servers:
+            self.servers[previous].regions.pop(region.region_id, None)
+        self.assignment[region.region_id] = server.node.node_id
+        server.regions[region.region_id] = region
+
+    def _handle_locate(self, payload) -> Generator:
+        yield from self.node.cpu_work(1e-5)
+        return dict(self.assignment)
+
+    def _alive_servers(self) -> list[RegionServer]:
+        return [s for s in self.servers.values() if s.node.alive]
+
+    def _monitor(self) -> Generator:
+        while True:
+            yield self.cluster.env.timeout(self.detection_s)
+            for node_id, server in self.servers.items():
+                if server.node.alive:
+                    self._handled_deaths.discard(node_id)
+                    continue
+                if node_id in self._handled_deaths:
+                    continue
+                self._handled_deaths.add(node_id)
+                self._failover(server)
+
+    def _failover(self, dead: RegionServer) -> None:
+        survivors = self._alive_servers()
+        if not survivors:
+            return
+        moved = [self.regions[rid] for rid, nid in self.assignment.items()
+                 if nid == dead.node.node_id]
+        for i, region in enumerate(moved):
+            target = survivors[i % len(survivors)]
+            region.move_to(target, self.recovery_s)
+            self.assign(region, target)
+            self.failovers.append(
+                (self.cluster.env.now, region.region_id, target.node.node_id))
+        dead.regions.clear()

@@ -1,0 +1,45 @@
+"""The shared key space.
+
+YCSB identifies records by an insertion index and *scrambles* it so that
+hot indexes (zipfian heads, "latest" tails) spread across the cluster —
+the paper's "local trap" warning.  Both databases shard on the scrambled
+value: HBase by range over pre-split regions, Cassandra by token ring.
+
+Keys are ``user`` + zero-padded decimal so lexicographic order equals
+numeric order (HBase range scans rely on this).
+"""
+
+from __future__ import annotations
+
+__all__ = ["KEY_DOMAIN", "fnv64", "key_for_index", "key_for_token", "token_of"]
+
+#: Tokens live in [0, KEY_DOMAIN).
+KEY_DOMAIN = 1 << 63
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv64(value: int) -> int:
+    """FNV-1a over the 8 little-endian bytes of ``value`` (YCSB's hash)."""
+    h = _FNV_OFFSET
+    for _ in range(8):
+        h ^= value & 0xFF
+        h = (h * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+        value >>= 8
+    return h
+
+
+def key_for_token(token: int) -> str:
+    """Render a token as a record key (fixed width, order-preserving)."""
+    return f"user{token:019d}"
+
+
+def key_for_index(index: int) -> str:
+    """Key of the ``index``-th inserted record (scrambled placement)."""
+    return key_for_token(fnv64(index) % KEY_DOMAIN)
+
+
+def token_of(key: str) -> int:
+    """Inverse of :func:`key_for_token`."""
+    return int(key[4:])

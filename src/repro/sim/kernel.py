@@ -1,0 +1,463 @@
+"""Event loop, events and processes for the discrete-event kernel.
+
+The design follows the classic simpy architecture:
+
+- :class:`Event` — a one-shot occurrence with a value (or an exception) and
+  a list of callbacks.  Events move through three states: *pending* (not
+  yet triggered), *triggered* (scheduled on the queue with a value), and
+  *processed* (callbacks have run).
+- :class:`Timeout` — an event that triggers ``delay`` time units after it
+  is created.
+- :class:`Process` — wraps a generator; every value the generator yields
+  must be an :class:`Event`, and the process resumes when that event is
+  processed.  A process is itself an event that triggers when the
+  generator returns (its value is the generator's return value).
+- :class:`Environment` — owns simulated time and the event queue.
+
+Only the pieces the database models actually need are implemented, but
+those pieces are implemented completely (failure propagation, interrupts,
+condition events) because the replication protocols rely on them — e.g. a
+Cassandra coordinator waits on ``AnyOf(AllOf(acks), timeout)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+]
+
+#: Priority for events scheduled urgently (ahead of normal events at the
+#: same timestamp).  Used when a process must observe an event before any
+#: sibling scheduled "now".
+URGENT = 0
+NORMAL = 1
+
+_PENDING = object()  # sentinel: event value before the event triggers
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (yielding non-events, double triggers...)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    @property
+    def cause(self) -> Any:
+        """The value passed to :meth:`Process.interrupt`."""
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Parameters
+    ----------
+    env:
+        The environment this event belongs to.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callbacks run (with the event as argument) when the event is
+        #: processed.  ``None`` once processed.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        # A failed event whose exception nobody consumed crashes the run;
+        # waiting on the event (or calling defuse()) marks it handled.
+        self._defused: bool = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is (or was) on the queue."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been invoked."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception it failed with)."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Any process waiting on the event will have ``exception`` raised at
+        its ``yield``.
+        """
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another event (chaining)."""
+        if self.triggered:
+            return
+        self._ok = event._ok
+        self._value = event._value
+        self.env._schedule(self, NORMAL, 0.0)
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    # -- composition -------------------------------------------------
+
+    def __and__(self, other: "Event") -> "Condition":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal event that kicks off a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env._schedule(self, URGENT, 0.0)
+
+
+class Process(Event):
+    """Wraps a generator and drives it through the event queue.
+
+    The process is itself an event: it triggers when the generator returns
+    (value = return value) or raises (the process fails with the
+    exception).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator,
+                 name: Optional[str] = None) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process currently waits on (None when running
+        #: or terminated).
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at its current yield.
+
+        Interrupting a terminated process is an error; interrupting a
+        process that is about to resume anyway is allowed (the interrupt
+        wins).
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt dead {self!r}")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        # Deliver via a broken urgent event so the interrupt arrives
+        # before the target event's own callbacks.
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.env._schedule(interrupt_event, URGENT, 0.0)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the value (or exception) of ``event``."""
+        env = self.env
+        # If an interrupt already resumed us and we since started waiting
+        # on a different event, a stale callback may fire; ignore events
+        # that are no longer our target (interrupt events never were).
+        if self._target is not None and event is not self._target \
+                and not isinstance(event._value, Interrupt):
+            return
+        if self.triggered:
+            return
+        env._active_process = self
+        while True:
+            self._target = None
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                env._schedule(self, NORMAL, 0.0)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                env._schedule(self, NORMAL, 0.0)
+                break
+
+            if not isinstance(next_event, Event):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded non-event {next_event!r}")
+                try:
+                    self._generator.throw(exc)
+                except StopIteration as stop:
+                    self._ok = True
+                    self._value = stop.value
+                    env._schedule(self, NORMAL, 0.0)
+                    break
+                except BaseException as exc2:
+                    self._ok = False
+                    self._value = exc2
+                    env._schedule(self, NORMAL, 0.0)
+                    break
+                continue
+
+            if next_event.callbacks is None:
+                # Already processed: resume immediately with its value.
+                event = next_event
+                continue
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+            break
+        env._active_process = None
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'dead'}>"
+
+
+class Condition(Event):
+    """Base for composite events (:class:`AllOf` / :class:`AnyOf`)."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, env: "Environment", events: list[Event]) -> None:
+        super().__init__(env)
+        self.events = list(events)
+        self._count = 0
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for event in self.events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _evaluate(self, count: int) -> bool:
+        raise NotImplementedError
+
+    def _collect(self) -> dict[Event, Any]:
+        # Only events whose callbacks have run count as "happened";
+        # a Timeout carries its value from creation, so `triggered`
+        # alone would leak future events into the result.
+        return {e: e._value for e in self.events
+                if e.processed and e._ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self._ok = False
+            self._value = event._value
+            self.env._schedule(self, NORMAL, 0.0)
+            return
+        self._count += 1
+        if self._evaluate(self._count):
+            self.succeed(self._collect())
+
+
+class AllOf(Condition):
+    """Triggers when *all* constituent events have succeeded."""
+
+    __slots__ = ()
+
+    def _evaluate(self, count: int) -> bool:
+        return count == len(self.events)
+
+
+class AnyOf(Condition):
+    """Triggers as soon as *any* constituent event succeeds."""
+
+    __slots__ = ()
+
+    def _evaluate(self, count: int) -> bool:
+        return count >= 1
+
+
+class Environment:
+    """Owns simulated time and the time-ordered event queue."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event factories ---------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event owned by this environment."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Register ``generator`` as a new process starting "now"."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: list[Event]) -> AllOf:
+        """Condition that triggers when every event has succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: list[Event]) -> AnyOf:
+        """Condition that triggers on the first success."""
+        return AnyOf(self, events)
+
+    # -- scheduling / stepping ---------------------------------------
+
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        self._now, _, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            return  # event was already processed (e.g. condition re-push)
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # Unhandled failure: surface it instead of losing it.
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to queue exhaustion), a time, or an
+        :class:`Event` (run until the event triggers; returns its value).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"until ({stop_time}) is in the past (now={self._now})")
+        while self._queue:
+            if stop_event is not None and stop_event.triggered:
+                if not stop_event._ok:
+                    stop_event._defused = True
+                    raise stop_event._value
+                return stop_event._value
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+        if stop_event is not None and stop_event.triggered:
+            if not stop_event._ok:
+                stop_event._defused = True
+                raise stop_event._value
+            return stop_event._value
+        if stop_event is not None:
+            raise SimulationError("simulation ended before the awaited event triggered")
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None

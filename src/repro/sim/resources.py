@@ -1,0 +1,256 @@
+"""Shared-resource primitives for the simulation kernel.
+
+- :class:`Resource` — ``capacity`` identical slots with a FIFO wait queue
+  (models disk queues, CPU cores, RPC handler pools).
+- :class:`PriorityResource` — like :class:`Resource` but the wait queue is
+  ordered by priority (models foreground vs background I/O).
+- :class:`Store` — an unbounded-or-bounded FIFO buffer of items (models
+  mailboxes and RPC channels).
+- :class:`Container` — a continuous level with put/get amounts (models
+  memory budgets such as memtable thresholds).
+
+All waiting is expressed through events, so processes simply ``yield`` the
+returned request:
+
+    with resource.request() as req:
+        yield req
+        yield env.timeout(service_time)
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Optional
+
+from repro.sim.kernel import Environment, Event, SimulationError
+
+__all__ = ["Container", "PriorityResource", "Request", "Resource", "Store"]
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource` slot.
+
+    Usable as a context manager: leaving the ``with`` block releases the
+    slot (or cancels the claim if it was never granted).
+    """
+
+    __slots__ = ("resource", "priority", "key")
+
+    def __init__(self, resource: "Resource", priority: int = 0) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        resource._seq += 1
+        self.key = (priority, resource._seq)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a claim that has not been granted yet."""
+        self.resource.release(self)
+
+
+class Resource:
+    """``capacity`` identical slots with a FIFO wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        #: Requests currently holding a slot.
+        self.users: list[Request] = []
+        #: Requests waiting for a slot, as a heap of (key, request).
+        self._waiting: list[tuple[tuple[int, int], Request]] = []
+        self._seq = 0
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    @property
+    def queue_len(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim a slot; the returned event triggers when granted."""
+        req = Request(self, priority)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed()
+        else:
+            heapq.heappush(self._waiting, (req.key, req))
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return ``request``'s slot (or withdraw it from the queue)."""
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        else:
+            # Cancel a queued request by lazy deletion.
+            for i, (_, queued) in enumerate(self._waiting):
+                if queued is request:
+                    self._waiting[i] = self._waiting[-1]
+                    self._waiting.pop()
+                    heapq.heapify(self._waiting)
+                    break
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self.users) < self.capacity:
+            _, req = heapq.heappop(self._waiting)
+            if req.triggered:
+                continue
+            self.users.append(req)
+            req.succeed()
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose wait queue is ordered by priority.
+
+    Lower ``priority`` values are served first; ties are FIFO.
+    """
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim a slot; lower ``priority`` values are served first."""
+        return super().request(priority=priority)
+
+
+class StorePut(Event):
+    """A pending put: triggers once its item is accepted by the store."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, env: Environment, item: Any) -> None:
+        super().__init__(env)
+        self.item = item
+
+
+class Store:
+    """A FIFO buffer of items with optional capacity.
+
+    ``put(item)`` returns an event that triggers once the item is in the
+    buffer (immediately unless the store is full); ``get()`` returns an
+    event that triggers with the oldest item once one is available.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._getters: list[Event] = []
+        self._putters: list[StorePut] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Offer ``item``; triggers once buffered (immediately unless full)."""
+        event = StorePut(self.env, item)
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            event.succeed()
+            self._serve_getters()
+        else:
+            self._putters.append(event)
+        return event
+
+    def get(self) -> Event:
+        """Take the oldest item; triggers once one is available."""
+        event = Event(self.env)
+        if self.items:
+            event.succeed(self.items.pop(0))
+            self._serve_putters()
+        else:
+            self._getters.append(event)
+        return event
+
+    def _serve_getters(self) -> None:
+        while self._getters and self.items:
+            getter = self._getters.pop(0)
+            if getter.triggered:
+                continue
+            getter.succeed(self.items.pop(0))
+
+    def _serve_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            putter = self._putters.pop(0)
+            if putter.triggered:
+                continue
+            self.items.append(putter.item)
+            putter.succeed()
+            self._serve_getters()
+
+
+class Container:
+    """A continuous level (e.g. bytes of memory) with blocking put/get."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf"),
+                 init: float = 0.0) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise SimulationError(f"init {init} outside [0, {capacity}]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._putters: list[tuple[float, Event]] = []
+        self._getters: list[tuple[float, Event]] = []
+
+    @property
+    def level(self) -> float:
+        """Current amount held by the container."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; triggers once it fits under the capacity."""
+        if amount <= 0:
+            raise SimulationError(f"put amount must be positive, got {amount}")
+        if amount > self.capacity:
+            raise SimulationError(f"put amount {amount} exceeds capacity")
+        event = Event(self.env)
+        self._putters.append((amount, event))
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; triggers once the level covers it."""
+        if amount <= 0:
+            raise SimulationError(f"get amount must be positive, got {amount}")
+        event = Event(self.env)
+        self._getters.append((amount, event))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                amount, event = self._putters[0]
+                if self._level + amount <= self.capacity and not event.triggered:
+                    self._putters.pop(0)
+                    self._level += amount
+                    event.succeed()
+                    progressed = True
+                elif event.triggered:
+                    self._putters.pop(0)
+                    progressed = True
+            if self._getters:
+                amount, event = self._getters[0]
+                if amount <= self._level and not event.triggered:
+                    self._getters.pop(0)
+                    self._level -= amount
+                    event.succeed()
+                    progressed = True
+                elif event.triggered:
+                    self._getters.pop(0)
+                    progressed = True

@@ -1,0 +1,50 @@
+"""Bloom filter over SSTable keys.
+
+A real bit-level implementation (backed by a Python integer used as a bit
+set).  SSTable lookups consult it before touching the disk, so its false
+positives translate into real (simulated) wasted block reads — the same
+trade-off the physical systems make.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter:
+    """Fixed-size bloom filter sized for a target false-positive rate."""
+
+    def __init__(self, expected_items: int, fp_rate: float = 0.01) -> None:
+        if expected_items < 1:
+            expected_items = 1
+        if not 0 < fp_rate < 1:
+            raise ValueError(f"fp_rate must be in (0, 1), got {fp_rate}")
+        # Standard sizing: m = -n ln p / (ln 2)^2 ; k = (m/n) ln 2
+        self.n_bits = max(8, int(-expected_items * math.log(fp_rate)
+                                 / (math.log(2) ** 2)))
+        self.n_hashes = max(1, round(self.n_bits / expected_items * math.log(2)))
+        self._bits = 0
+        self.items_added = 0
+
+    def _indexes(self, key: str) -> list[int]:
+        data = key.encode()
+        h1 = zlib.crc32(data)
+        h2 = zlib.adler32(data) | 1  # odd, so strides cover the table
+        return [(h1 + i * h2) % self.n_bits for i in range(self.n_hashes)]
+
+    def add(self, key: str) -> None:
+        for idx in self._indexes(key):
+            self._bits |= 1 << idx
+        self.items_added += 1
+
+    def might_contain(self, key: str) -> bool:
+        """False means *definitely absent*; True means *probably present*."""
+        return all(self._bits >> idx & 1 for idx in self._indexes(key))
+
+    @property
+    def size_bytes(self) -> int:
+        """In-memory footprint charged against the node's RAM budget."""
+        return self.n_bits // 8 + 1

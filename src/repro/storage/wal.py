@@ -1,0 +1,48 @@
+"""Write-ahead log (HBase WAL / Cassandra commit log).
+
+Both systems append every mutation to a log before acknowledging it, and
+both default to *buffered* appends (periodic sync), which is why a single
+mutation's latency contains no rotational disk time.  The log is
+parameterized by a :class:`~repro.storage.lsm.StorageMedium`, because the
+two systems place it differently:
+
+- Cassandra's commit log is a local file — appends hit the local page
+  cache (``LocalDiskMedium``).
+- HBase's WAL is an HDFS file — appends travel the replication pipeline
+  (``HdfsMedium``), which is where the replication factor enters HBase's
+  write path.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+__all__ = ["WriteAheadLog"]
+
+
+class WriteAheadLog:
+    """Append-only log with buffered (default) or synchronous appends."""
+
+    def __init__(self, medium, sync_every_append: bool = False) -> None:
+        self.medium = medium
+        self.sync_every_append = sync_every_append
+        self.appended_bytes = 0
+        self.appends = 0
+
+    def append(self, size: int) -> Generator:
+        """Append one record of ``size`` bytes (a simulation process).
+
+        With ``sync_every_append`` the append does not return until the
+        medium reports the bytes durable (used by the durability ablation
+        benchmark); otherwise the medium buffers them.
+        """
+        self.appends += 1
+        self.appended_bytes += size
+        if self.sync_every_append:
+            yield from self.medium.append_log(size, sync=True)
+        else:
+            yield from self.medium.append_log(size, sync=False)
+
+    def truncate(self) -> None:
+        """Discard log segments covered by a completed flush."""
+        self.appended_bytes = 0

@@ -1,0 +1,91 @@
+"""Database bindings: the YCSB ``DB`` interface for both systems."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Protocol
+
+from repro.cassandra.client import CassandraSession
+from repro.cassandra.consistency import ConsistencyLevel
+from repro.hbase.client import HBaseClient
+
+__all__ = ["CassandraBinding", "DbBinding", "HBaseBinding"]
+
+
+class DbBinding(Protocol):
+    """What a workload thread needs from a database."""
+
+    def insert(self, key: str, value: Any, size: int) -> Generator:
+        ...
+
+    def update(self, key: str, value: Any, size: int) -> Generator:
+        ...
+
+    def read(self, key: str, size: int) -> Generator:
+        """Returns ``(value, timestamp)`` or None."""
+        ...
+
+    def scan(self, start_key: str, limit: int, record_bytes: int) -> Generator:
+        ...
+
+
+class HBaseBinding:
+    """YCSB binding for the HBase model (puts are upserts)."""
+
+    name = "hbase"
+
+    def __init__(self, client: HBaseClient) -> None:
+        self.client = client
+
+    def insert(self, key: str, value: Any, size: int) -> Generator:
+        result = yield from self.client.put(key, value, size)
+        return result
+
+    def update(self, key: str, value: Any, size: int) -> Generator:
+        result = yield from self.client.put(key, value, size)
+        return result
+
+    def read(self, key: str, size: int) -> Generator:
+        result = yield from self.client.get(key, expected_bytes=size)
+        return result
+
+    def scan(self, start_key: str, limit: int, record_bytes: int) -> Generator:
+        rows = yield from self.client.scan(start_key, limit,
+                                           record_bytes=record_bytes)
+        return rows
+
+
+class CassandraBinding:
+    """YCSB binding for the Cassandra model.
+
+    Consistency levels ride on the session; per-run overrides mirror the
+    paper's §4.3 method ("Cassandra allows specifying the consistency
+    level in request time").
+    """
+
+    name = "cassandra"
+
+    def __init__(self, session: CassandraSession,
+                 read_cl: Optional[ConsistencyLevel] = None,
+                 write_cl: Optional[ConsistencyLevel] = None) -> None:
+        self.session = session
+        if read_cl is not None:
+            session.read_cl = read_cl
+        if write_cl is not None:
+            session.write_cl = write_cl
+
+    def insert(self, key: str, value: Any, size: int) -> Generator:
+        result = yield from self.session.insert(key, value, size)
+        return result
+
+    def update(self, key: str, value: Any, size: int) -> Generator:
+        result = yield from self.session.insert(key, value, size)
+        return result
+
+    def read(self, key: str, size: int) -> Generator:
+        result = yield from self.session.read(key, expected_bytes=size)
+        return result
+
+    def scan(self, start_key: str, limit: int, record_bytes: int) -> Generator:
+        rows = yield from self.session.scan(start_key, limit,
+                                            record_bytes=record_bytes)
+        return rows

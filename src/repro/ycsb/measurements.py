@@ -1,0 +1,149 @@
+"""Latency and throughput measurement.
+
+Per-operation-type latency samples with timestamps (so SLA windows and
+failover timelines can be reconstructed), summarized into the statistics
+YCSB reports: mean, min, max, and the 50th/95th/99th percentiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["LatencyStats", "Measurements"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of one operation type's latency samples (seconds)."""
+
+    count: int
+    errors: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean * 1000.0
+
+    @property
+    def p99_ms(self) -> float:
+        return self.p99 * 1000.0
+
+    @staticmethod
+    def empty() -> "LatencyStats":
+        return LatencyStats(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile over pre-sorted samples."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(fraction * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+class Measurements:
+    """Collects (timestamp, latency) samples per operation type."""
+
+    def __init__(self) -> None:
+        #: op name -> list of (completion time, latency seconds).
+        self.samples: dict[str, list[tuple[float, float]]] = {}
+        self.errors: dict[str, int] = {}
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    def record(self, op: str, completed_at: float, latency: float) -> None:
+        self.samples.setdefault(op, []).append((completed_at, latency))
+
+    def record_error(self, op: str) -> None:
+        self.errors[op] = self.errors.get(op, 0) + 1
+
+    @property
+    def total_ops(self) -> int:
+        return sum(len(v) for v in self.samples.values())
+
+    @property
+    def total_errors(self) -> int:
+        return sum(self.errors.values())
+
+    @property
+    def duration(self) -> float:
+        if self.started_at is None or self.finished_at is None:
+            return 0.0
+        return self.finished_at - self.started_at
+
+    @property
+    def throughput(self) -> float:
+        """Runtime throughput: completed operations per second."""
+        duration = self.duration
+        return self.total_ops / duration if duration > 0 else 0.0
+
+    def stats(self, op: str) -> LatencyStats:
+        samples = self.samples.get(op, [])
+        errors = self.errors.get(op, 0)
+        if not samples:
+            return LatencyStats(0, errors, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        latencies = sorted(lat for _, lat in samples)
+        return LatencyStats(
+            count=len(latencies),
+            errors=errors,
+            mean=sum(latencies) / len(latencies),
+            minimum=latencies[0],
+            maximum=latencies[-1],
+            p50=percentile(latencies, 0.50),
+            p95=percentile(latencies, 0.95),
+            p99=percentile(latencies, 0.99),
+        )
+
+    def overall_stats(self) -> LatencyStats:
+        merged: list[float] = []
+        for op_samples in self.samples.values():
+            merged.extend(lat for _, lat in op_samples)
+        if not merged:
+            return LatencyStats(0, self.total_errors,
+                                0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        merged.sort()
+        return LatencyStats(
+            count=len(merged),
+            errors=self.total_errors,
+            mean=sum(merged) / len(merged),
+            minimum=merged[0],
+            maximum=merged[-1],
+            p50=percentile(merged, 0.50),
+            p95=percentile(merged, 0.95),
+            p99=percentile(merged, 0.99),
+        )
+
+    def timeline(self, bucket_s: float) -> list[tuple[float, int, float]]:
+        """(bucket start, ops completed, mean latency) per time bucket.
+
+        Used by the failover probe to plot throughput/latency around a
+        crash, the way Pokluda et al. (paper §5) present theirs.
+        """
+        if bucket_s <= 0:
+            raise ValueError("bucket_s must be positive")
+        all_samples = sorted(
+            (t, lat) for op_samples in self.samples.values()
+            for t, lat in op_samples)
+        if not all_samples:
+            return []
+        out: list[tuple[float, int, float]] = []
+        bucket_start = (all_samples[0][0] // bucket_s) * bucket_s
+        acc: list[float] = []
+        for t, lat in all_samples:
+            while t >= bucket_start + bucket_s:
+                if acc:
+                    out.append((bucket_start, len(acc), sum(acc) / len(acc)))
+                else:
+                    out.append((bucket_start, 0, 0.0))
+                bucket_start += bucket_s
+                acc = []
+            acc.append(lat)
+        out.append((bucket_start, len(acc), sum(acc) / len(acc)))
+        return out

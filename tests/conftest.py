@@ -1,0 +1,31 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.topology import Cluster, ClusterSpec
+from repro.sim.kernel import Environment
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+@pytest.fixture
+def rngs() -> RngRegistry:
+    return RngRegistry(seed=1234)
+
+
+@pytest.fixture
+def small_cluster(env, rngs) -> Cluster:
+    """Four server nodes + nothing fancy."""
+    return Cluster(env, ClusterSpec(n_nodes=4), rngs)
+
+
+def run_process(env: Environment, generator, until: float | None = None):
+    """Drive one generator to completion and return its value."""
+    process = env.process(generator)
+    return env.run(until=process if until is None else until)

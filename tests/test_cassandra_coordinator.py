@@ -1,0 +1,165 @@
+"""Unit tests for coordinator plumbing: wait_for_k and scan routing."""
+
+import pytest
+
+from repro.cassandra.client import CassandraSession
+from repro.cassandra.consistency import ConsistencyLevel, UnavailableError
+from repro.cassandra.coordinator import ReadTimeoutError, wait_for_k
+from repro.cassandra.deployment import CassandraCluster, CassandraSpec
+from repro.cluster.topology import Cluster, ClusterSpec
+from repro.keyspace import key_for_index
+from repro.sim.kernel import Environment
+from repro.sim.rng import RngRegistry
+
+
+def drive(env, generator):
+    return env.run(until=env.process(generator))
+
+
+class TestWaitForK:
+    def make_proc(self, env, delay, value=None, fail=False):
+        def body():
+            yield env.timeout(delay)
+            if fail:
+                return RuntimeError("converted failure")
+            return value
+
+        return env.process(body())
+
+    def test_returns_after_k_fastest(self, env):
+        procs = [self.make_proc(env, d) for d in (1.0, 2.0, 5.0)]
+
+        def waiter():
+            yield from wait_for_k(env, procs, 2, RuntimeError("nope"))
+            return env.now
+
+        assert drive(env, waiter()) == 2.0
+
+    def test_k_zero_returns_immediately(self, env):
+        def waiter():
+            yield from wait_for_k(env, [], 0, RuntimeError("nope"))
+            return env.now
+
+        assert drive(env, waiter()) == 0.0
+
+    def test_k_larger_than_procs_raises(self, env):
+        procs = [self.make_proc(env, 1.0)]
+
+        def waiter():
+            try:
+                yield from wait_for_k(env, procs, 2, RuntimeError("too few"))
+            except RuntimeError as exc:
+                return str(exc)
+
+        assert drive(env, waiter()) == "too few"
+
+    def test_exception_values_do_not_count(self, env):
+        procs = [self.make_proc(env, 1.0, fail=True),
+                 self.make_proc(env, 2.0, fail=True),
+                 self.make_proc(env, 3.0)]
+
+        def waiter():
+            yield from wait_for_k(env, procs, 1, RuntimeError("nope"))
+            return env.now
+
+        assert drive(env, waiter()) == 3.0
+
+    def test_all_failed_raises(self, env):
+        procs = [self.make_proc(env, 1.0, fail=True),
+                 self.make_proc(env, 2.0, fail=True)]
+
+        def waiter():
+            try:
+                yield from wait_for_k(env, procs, 1,
+                                      ReadTimeoutError("all failed"))
+            except ReadTimeoutError:
+                return "raised"
+
+        assert drive(env, waiter()) == "raised"
+
+    def test_already_finished_procs_counted(self, env):
+        proc = self.make_proc(env, 0.5)
+        env.run(until=1.0)
+
+        def waiter():
+            yield from wait_for_k(env, [proc], 1, RuntimeError("nope"))
+            return env.now
+
+        assert drive(env, waiter()) == 1.0
+
+
+class TestCoordinatorEdgeCases:
+    def build(self, **kwargs):
+        env = Environment()
+        cluster = Cluster(env, ClusterSpec(n_nodes=5), RngRegistry(77))
+        cassandra = CassandraCluster(cluster, CassandraSpec(
+            replication=3, **kwargs))
+        session = CassandraSession(cassandra, cassandra.client_node)
+        return env, cluster, cassandra, session
+
+    def test_read_unavailable_when_too_few_replicas(self):
+        env, cluster, cassandra, session = self.build()
+        session.read_cl = ConsistencyLevel.ALL
+
+        def scenario():
+            key = key_for_index(0)
+            yield from session.insert(key, "x", 100)
+            for replica in cassandra.replicas_of(key)[1:]:
+                cluster.kill(replica)
+            try:
+                yield from session.read(key, 100)
+            except UnavailableError:
+                return "unavailable"
+
+        assert drive(env, scenario()) == "unavailable"
+
+    def test_coordinator_skips_dead_ring_members(self):
+        env, cluster, cassandra, session = self.build()
+
+        def scenario():
+            # Kill one non-client node; round-robin must skip it.
+            cluster.kill(cassandra.server_nodes[0].node_id)
+            results = []
+            for i in range(10):
+                key = key_for_index(i)
+                try:
+                    yield from session.insert(key, i, 100)
+                    results.append(True)
+                except Exception:
+                    results.append(False)
+            return results
+
+        assert all(drive(env, scenario()))
+
+    def test_scan_served_by_main_replica(self):
+        env, _, cassandra, session = self.build()
+
+        def scenario():
+            for i in range(100):
+                yield from session.insert(key_for_index(i), i, 50)
+            yield env.timeout(2)
+            before = {r: node.ops["scan"]
+                      for r, node in cassandra.nodes.items()}
+            key = key_for_index(7)
+            yield from session.scan(key, 5, 50)
+            after = {r: node.ops["scan"]
+                     for r, node in cassandra.nodes.items()}
+            scanned = [r for r in after if after[r] > before[r]]
+            return scanned, cassandra.replicas_of(key)[0]
+
+        scanned, main = drive(env, scenario())
+        assert scanned == [main]
+
+    def test_coordinator_stats_accumulate(self):
+        env, _, cassandra, session = self.build()
+
+        def scenario():
+            for i in range(20):
+                yield from session.insert(key_for_index(i), i, 100)
+            for i in range(20):
+                yield from session.read(key_for_index(i), 100)
+
+        drive(env, scenario())
+        stats = cassandra.total_stats()
+        assert stats["writes"] == 20
+        assert stats["reads"] == 20

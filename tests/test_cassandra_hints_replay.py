@@ -1,0 +1,94 @@
+"""Edge cases for hinted handoff and eventual delivery."""
+
+from repro.cassandra.client import CassandraSession
+from repro.cassandra.deployment import CassandraCluster, CassandraSpec
+from repro.cluster.topology import Cluster, ClusterSpec
+from repro.keyspace import key_for_index
+from repro.sim.kernel import Environment
+from repro.sim.rng import RngRegistry
+from repro.storage.lsm import StorageSpec
+
+
+def build(seed=37):
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(n_nodes=6), RngRegistry(seed))
+    cassandra = CassandraCluster(cluster, CassandraSpec(
+        replication=3, hint_replay_interval_s=0.5,
+        storage=StorageSpec(memtable_flush_bytes=8192, block_bytes=1024,
+                            block_cache_bytes=8192)))
+    session = CassandraSession(cassandra, cassandra.client_node)
+    return env, cluster, cassandra, session
+
+
+def drive(env, generator):
+    return env.run(until=env.process(generator))
+
+
+class TestHintReplay:
+    def test_multiple_hints_all_delivered(self):
+        env, cluster, cassandra, session = build()
+
+        def scenario():
+            key = key_for_index(1)
+            victim = cassandra.replicas_of(key)[-1]
+            cluster.kill(victim)
+            # Several writes pile up hints for the dead replica.
+            for i in range(10):
+                yield from session.insert(key, f"v{i}", 100)
+            yield env.timeout(1)
+            cluster.restart(victim)
+            yield env.timeout(3)
+            return (cassandra.nodes[victim].newest_timestamp(key),
+                    sum(len(n.hints) for n in cassandra.nodes.values()))
+
+        newest, outstanding = drive(env, scenario())
+        assert newest is not None
+        assert outstanding == 0
+
+    def test_hints_survive_second_crash_of_target(self):
+        env, cluster, cassandra, session = build()
+
+        def scenario():
+            key = key_for_index(2)
+            victim = cassandra.replicas_of(key)[-1]
+            cluster.kill(victim)
+            yield from session.insert(key, "held", 100)
+            # Flap: back up briefly, down again before replay can land...
+            cluster.restart(victim)
+            cluster.kill(victim)
+            yield env.timeout(2)
+            # ...then recover for real.
+            cluster.restart(victim)
+            yield env.timeout(3)
+            return cassandra.nodes[victim].newest_timestamp(key)
+
+        assert drive(env, scenario()) is not None
+
+    def test_hint_carries_newest_version(self):
+        env, cluster, cassandra, session = build()
+
+        def scenario():
+            key = key_for_index(3)
+            victim = cassandra.replicas_of(key)[-1]
+            cluster.kill(victim)
+            yield from session.insert(key, "first", 100)
+            yield from session.insert(key, "second", 100)
+            cluster.restart(victim)
+            yield env.timeout(3)
+            # The victim must converge to the *newest* version.
+            live = cassandra.replicas_of(key)[0]
+            return (cassandra.nodes[victim].newest_timestamp(key),
+                    cassandra.nodes[live].newest_timestamp(key))
+
+        victim_ts, live_ts = drive(env, scenario())
+        assert victim_ts == live_ts
+
+    def test_no_hints_when_everyone_alive(self):
+        env, _, cassandra, session = build()
+
+        def scenario():
+            for i in range(20):
+                yield from session.insert(key_for_index(i), i, 100)
+
+        drive(env, scenario())
+        assert cassandra.total_stats()["hints_stored"] == 0

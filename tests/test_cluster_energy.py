@@ -1,0 +1,75 @@
+"""Unit tests for the energy meter."""
+
+import pytest
+
+from repro.cluster.energy import EnergyMeter, EnergyReport, PowerSpec
+
+
+class TestEnergyMeter:
+    def test_idle_cluster_draws_idle_power(self, small_cluster):
+        env = small_cluster.env
+        meter = EnergyMeter(small_cluster.nodes)
+        meter.start()
+        env.timeout(10.0)
+        env.run()
+        report = meter.stop()
+        assert report.duration_s == pytest.approx(10.0)
+        expected_idle = 120.0 * 10.0 * 4
+        assert report.idle_j == pytest.approx(expected_idle)
+        assert report.cpu_j == pytest.approx(0.0, abs=1.0)
+
+    def test_busy_cpu_adds_energy(self, small_cluster):
+        env = small_cluster.env
+        node = small_cluster.node(0)
+        meter = EnergyMeter(small_cluster.nodes)
+        meter.start()
+
+        def burn():
+            for _ in range(100):
+                yield from node.cpu_work(0.01)
+
+        env.process(burn())
+        env.run()
+        report = meter.stop()
+        assert report.cpu_j > 0
+
+    def test_disk_adds_energy(self, small_cluster):
+        env = small_cluster.env
+        node = small_cluster.node(0)
+        meter = EnergyMeter(small_cluster.nodes)
+        meter.start()
+
+        def churn():
+            for _ in range(20):
+                yield from node.disk.read(1 << 20)
+
+        env.process(churn())
+        env.run()
+        report = meter.stop()
+        assert report.disk_j > 0
+
+    def test_joules_per_op(self):
+        report = EnergyReport(duration_s=1.0, idle_j=100.0, cpu_j=20.0,
+                              disk_j=5.0)
+        assert report.total_j == 125.0
+        assert report.joules_per_op(25) == pytest.approx(5.0)
+        assert report.joules_per_op(0) == 0.0
+
+    def test_stop_before_start_rejected(self, small_cluster):
+        meter = EnergyMeter(small_cluster.nodes)
+        with pytest.raises(RuntimeError):
+            meter.stop()
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyMeter([])
+
+    def test_custom_power_spec(self, small_cluster):
+        env = small_cluster.env
+        meter = EnergyMeter(small_cluster.nodes,
+                            PowerSpec(idle_w=10.0, cpu_w=1.0, disk_w=1.0))
+        meter.start()
+        env.timeout(1.0)
+        env.run()
+        report = meter.stop()
+        assert report.idle_j == pytest.approx(40.0)

@@ -1,0 +1,40 @@
+"""Unit tests for failure injection."""
+
+from repro.cluster.failure import CrashEvent, FailureInjector
+
+
+class TestFailureInjector:
+    def test_crash_at_scheduled_time(self, small_cluster):
+        env = small_cluster.env
+        injector = FailureInjector(small_cluster)
+        injector.schedule(CrashEvent(node_id=2, at_s=5.0))
+        env.run(until=4.9)
+        assert small_cluster.node(2).alive
+        env.run(until=5.1)
+        assert not small_cluster.node(2).alive
+        assert injector.log == [(5.0, 2, "crash")]
+
+    def test_restart_after_downtime(self, small_cluster):
+        env = small_cluster.env
+        injector = FailureInjector(small_cluster)
+        injector.schedule(CrashEvent(node_id=1, at_s=2.0, down_s=3.0))
+        env.run(until=4.0)
+        assert not small_cluster.node(1).alive
+        env.run(until=6.0)
+        assert small_cluster.node(1).alive
+        assert injector.log == [(2.0, 1, "crash"), (5.0, 1, "restart")]
+
+    def test_permanent_crash_never_restarts(self, small_cluster):
+        env = small_cluster.env
+        injector = FailureInjector(small_cluster)
+        injector.schedule(CrashEvent(node_id=0, at_s=1.0, down_s=None))
+        env.run(until=100.0)
+        assert not small_cluster.node(0).alive
+
+    def test_schedule_all(self, small_cluster):
+        env = small_cluster.env
+        injector = FailureInjector(small_cluster)
+        injector.schedule_all([CrashEvent(0, 1.0, 1.0),
+                               CrashEvent(1, 2.0, 1.0)])
+        env.run(until=10.0)
+        assert len(injector.log) == 4

@@ -1,0 +1,213 @@
+"""Unit tests for the NIC/switch model and the RPC transport."""
+
+import pytest
+
+from repro.cluster.nic import Network, NetworkSpec, Nic
+from repro.cluster.topology import Cluster, ClusterSpec, DeadNodeError, RpcTimeout
+from repro.sim.kernel import AllOf, Environment
+from repro.sim.rng import RngRegistry
+
+
+class TestNic:
+    def test_transit_time_has_floor_and_bandwidth_term(self, env, rngs):
+        spec = NetworkSpec(latency_tail=0.0, latency_floor=1.0)
+        network = Network(env, spec, rngs.stream("net"))
+        a, b = Nic(env, spec), Nic(env, spec)
+
+        def send(env, size):
+            start = env.now
+            yield from network.transit(a, b, size)
+            return env.now - start
+
+        small = env.run(until=env.process(send(env, 100)))
+        env2 = Environment()
+        network2 = Network(env2, spec, rngs.stream("net2"))
+        c, d = Nic(env2, spec), Nic(env2, spec)
+
+        def send2(env2, size):
+            start = env2.now
+            yield from network2.transit(c, d, size)
+            return env2.now - start
+
+        large = env2.run(until=env2.process(send2(env2, 1_000_000)))
+        assert small >= spec.base_latency_s
+        assert large > small + 0.001  # 1 MB at ~117 MB/s dominates
+
+    def test_egress_serializes_fanout(self, env, rngs):
+        spec = NetworkSpec(latency_tail=0.0, latency_floor=1.0)
+        network = Network(env, spec, rngs.stream("net"))
+        src = Nic(env, spec)
+        sinks = [Nic(env, spec) for _ in range(4)]
+        finish = []
+
+        def send(env, dst):
+            yield from network.transit(src, dst, 500_000)
+            finish.append(env.now)
+
+        for sink in sinks:
+            env.process(send(env, sink))
+        env.run()
+        # Four half-MB messages cannot leave a single NIC simultaneously.
+        assert finish == sorted(finish)
+        assert finish[-1] > finish[0] * 2
+
+    def test_byte_counters(self, env, rngs):
+        spec = NetworkSpec(latency_tail=0.0, latency_floor=1.0)
+        network = Network(env, spec, rngs.stream("net"))
+        a, b = Nic(env, spec), Nic(env, spec)
+
+        def send(env):
+            yield from network.transit(a, b, 1234)
+
+        env.process(send(env))
+        env.run()
+        assert a.bytes_sent == 1234
+        assert b.bytes_received == 1234
+        assert network.messages == 1
+
+
+class TestRpc:
+    def make(self, n=3):
+        env = Environment()
+        cluster = Cluster(env, ClusterSpec(n_nodes=n), RngRegistry(3))
+        return env, cluster
+
+    def test_round_trip_returns_handler_value(self):
+        env, cluster = self.make()
+
+        def handler(payload):
+            yield from cluster.node(1).cpu_work(1e-5)
+            return payload * 2
+
+        cluster.node(1).register("double", handler)
+
+        def client(env):
+            result = yield from cluster.call(cluster.node(0), cluster.node(1),
+                                             "double", 21)
+            return result
+
+        assert env.run(until=env.process(client(env))) == 42
+
+    def test_rpc_costs_time(self):
+        env, cluster = self.make()
+
+        def handler(payload):
+            return payload
+            yield  # pragma: no cover
+
+        cluster.node(1).register("echo", handler)
+
+        def client(env):
+            yield from cluster.call(cluster.node(0), cluster.node(1), "echo",
+                                    "x", request_bytes=1000,
+                                    response_bytes=1000)
+            return env.now
+
+        elapsed = env.run(until=env.process(client(env)))
+        assert elapsed > 2 * cluster.spec.node.network.base_latency_s * 0.5
+
+    def test_missing_verb_raises(self):
+        env, cluster = self.make()
+
+        def client(env):
+            yield from cluster.call(cluster.node(0), cluster.node(1), "nope")
+
+        with pytest.raises(LookupError):
+            env.run(until=env.process(client(env)))
+
+    def test_dead_target_times_out(self):
+        env, cluster = self.make()
+        cluster.kill(1)
+
+        def handler(payload):
+            return payload
+            yield  # pragma: no cover
+
+        cluster.node(1).register("echo", handler)
+
+        def client(env):
+            try:
+                yield from cluster.call(cluster.node(0), cluster.node(1),
+                                        "echo", timeout=0.25)
+            except RpcTimeout:
+                return ("timeout", env.now)
+
+        kind, when = env.run(until=env.process(client(env)))
+        assert kind == "timeout"
+        assert when >= 0.25
+
+    def test_dead_target_without_timeout_fails_fast(self):
+        env, cluster = self.make()
+        cluster.kill(1)
+
+        def handler(payload):
+            return payload
+            yield  # pragma: no cover
+
+        cluster.node(1).register("echo", handler)
+
+        def client(env):
+            try:
+                yield from cluster.call(cluster.node(0), cluster.node(1), "echo")
+            except DeadNodeError:
+                return "dead"
+
+        assert env.run(until=env.process(client(env))) == "dead"
+
+    def test_slow_handler_times_out_but_restartable(self):
+        env, cluster = self.make()
+
+        def slow(payload):
+            yield env.timeout(10)
+            return "late"
+
+        cluster.node(1).register("slow", slow)
+
+        def client(env):
+            try:
+                yield from cluster.call(cluster.node(0), cluster.node(1),
+                                        "slow", timeout=1.0)
+            except RpcTimeout:
+                return env.now
+
+        assert env.run(until=env.process(client(env))) == pytest.approx(1.0)
+
+    def test_call_async_fanout_collects_errors_as_values(self):
+        env, cluster = self.make(4)
+        cluster.kill(2)
+
+        def handler(payload):
+            return "ok"
+            yield  # pragma: no cover
+
+        for node_id in (1, 2, 3):
+            cluster.node(node_id).register("ping", handler)
+
+        def client(env):
+            procs = [cluster.call_async(cluster.node(0), cluster.node(i),
+                                        "ping", timeout=0.5)
+                     for i in (1, 2, 3)]
+            yield AllOf(env, procs)
+            return [p.value for p in procs]
+
+        values = env.run(until=env.process(client(env)))
+        assert values[0] == "ok" and values[2] == "ok"
+        assert isinstance(values[1], RpcTimeout)
+
+    def test_kill_and_restart(self):
+        env, cluster = self.make()
+        cluster.kill(1)
+        assert not cluster.node(1).alive
+        cluster.restart(1)
+        assert cluster.node(1).alive
+
+    def test_duplicate_verb_registration_rejected(self):
+        _, cluster = self.make()
+
+        def handler(payload):
+            return None
+            yield  # pragma: no cover
+
+        cluster.node(1).register("v", handler)
+        with pytest.raises(ValueError):
+            cluster.node(1).register("v", handler)

@@ -1,0 +1,39 @@
+"""Unit tests for the repro-bench CLI."""
+
+import pytest
+
+from repro.core.cli import build_parser, main
+
+
+class TestParser:
+    def test_table1_parses(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.command == "table1"
+
+    def test_fig_commands_parse(self):
+        for name in ("fig1", "fig2", "fig3"):
+            args = build_parser().parse_args([name, "--quick", "--max-rf", "3"])
+            assert args.command == name
+            assert args.quick is True
+            assert args.max_rf == 3
+
+    def test_db_filter(self):
+        args = build_parser().parse_args(["fig1", "--db", "hbase"])
+        assert args.dbs == ["hbase"]
+
+    def test_invalid_db_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig1", "--db", "mongodb"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_table1_prints_workloads(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "read_mostly" in out
+        assert "scan_short_ranges" in out
+        assert "Zipfian" in out or "zipfian" in out

@@ -1,0 +1,77 @@
+"""Unit tests for experiment configuration."""
+
+import pytest
+
+from repro.cassandra.consistency import ConsistencyLevel
+from repro.core.config import (
+    CassandraConfig,
+    ExperimentConfig,
+    default_micro_config,
+    default_stress_config,
+)
+from repro.ycsb.workload import STRESS_WORKLOADS
+
+
+class TestExperimentConfig:
+    def test_unknown_db_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(db="mongodb",
+                             workload=STRESS_WORKLOADS["read_mostly"],
+                             record_count=10, operation_count=10)
+
+    def test_counts_validated(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(db="hbase",
+                             workload=STRESS_WORKLOADS["read_mostly"],
+                             record_count=0, operation_count=10)
+
+    def test_node_count_validated(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(db="hbase",
+                             workload=STRESS_WORKLOADS["read_mostly"],
+                             record_count=10, operation_count=10, n_nodes=1)
+
+    def test_replication_property_tracks_db(self):
+        config = ExperimentConfig(
+            db="cassandra", workload=STRESS_WORKLOADS["read_mostly"],
+            record_count=10, operation_count=10,
+            cassandra=CassandraConfig(replication=5))
+        assert config.replication == 5
+
+    def test_with_replication_updates_both_sides(self):
+        config = default_stress_config("hbase")
+        updated = config.with_replication(6)
+        assert updated.hbase.replication == 6
+        assert updated.cassandra.replication == 6
+        assert config.hbase.replication == 3  # original untouched
+
+
+class TestFactories:
+    def test_micro_defaults(self):
+        config = default_micro_config("hbase", "read", replication=2)
+        assert config.db == "hbase"
+        assert config.workload.read_proportion == 1.0
+        assert config.replication == 2
+        assert config.workload.record_bytes < 100  # tiny micro records
+
+    def test_micro_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            default_micro_config("hbase", "delete")
+
+    def test_stress_defaults(self):
+        config = default_stress_config("cassandra", "read_latest",
+                                       replication=4,
+                                       target_throughput=5000.0)
+        assert config.workload.name == "read_latest"
+        assert config.target_throughput == 5000.0
+        assert config.replication == 4
+        assert config.workload.record_bytes == 1000
+
+    def test_stress_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            default_stress_config("cassandra", "workload_z")
+
+    def test_default_cls_are_one(self):
+        config = default_stress_config("cassandra")
+        assert config.cassandra.read_cl is ConsistencyLevel.ONE
+        assert config.cassandra.write_cl is ConsistencyLevel.ONE

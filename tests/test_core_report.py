@@ -1,0 +1,62 @@
+"""Unit tests for report rendering."""
+
+from repro.core.report import (
+    render_consistency_sweep,
+    render_micro_sweep,
+    render_series,
+    render_stress_sweep,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_headers_and_rows_aligned(self):
+        text = render_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "name" in lines[0] and "value" in lines[0]
+
+    def test_title_line(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[3.14159], [123.456]])
+        assert "3.142" in text
+        assert "123.5" in text
+
+
+class TestRenderSweeps:
+    def test_micro_sweep(self):
+        sweep = {1: {"read": {"mean_ms": 1.0, "p99_ms": 2.0},
+                     "update": {"mean_ms": 0.5, "p99_ms": 1.0}},
+                 3: {"read": {"mean_ms": 1.2, "p99_ms": 2.2},
+                     "update": {"mean_ms": 0.6, "p99_ms": 1.1}}}
+        text = render_micro_sweep("hbase", sweep)
+        assert "Fig.1" in text and "hbase" in text
+        assert "update ms" in text and "read ms" in text
+        assert len(text.splitlines()) == 5
+
+    def test_stress_sweep(self):
+        sweep = {1: {"read_mostly": {"peak_throughput": 1000.0,
+                                     "latency_ms": 2.0,
+                                     "per_target": []}}}
+        text = render_stress_sweep("cassandra", sweep)
+        assert "Fig.2" in text and "read_mostly" in text
+
+    def test_consistency_sweep(self):
+        sweep = {
+            "ONE": {"read_latest": {"series": [(100.0, 90.0), (200.0, 150.0)],
+                                    "peak_throughput": 150.0}},
+            "QUORUM": {"read_latest": {"series": [(100.0, 95.0),
+                                                  (200.0, 160.0)],
+                                       "peak_throughput": 160.0}},
+        }
+        text = render_consistency_sweep(sweep)
+        assert "Fig.3" in text
+        assert "ONE" in text and "QUORUM" in text
+
+    def test_series(self):
+        text = render_series("curve", [(1.0, 2.0), (3.0, 4.0)],
+                             x_label="target", y_label="runtime")
+        assert "curve" in text and "target" in text

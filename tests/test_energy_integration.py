@@ -1,0 +1,40 @@
+"""Integration: energy metering attached to experiment cells."""
+
+from dataclasses import replace
+
+from repro.cluster.energy import EnergyReport
+from repro.core.config import default_stress_config
+from repro.core.experiment import ExperimentSession
+
+
+def test_run_cell_reports_energy():
+    config = default_stress_config("cassandra", "read_mostly")
+    config = replace(config, record_count=1200, operation_count=300,
+                     n_nodes=5, n_threads=6, settle_s=0.5, load_threads=8)
+    session = ExperimentSession(config)
+    session.load()
+    result = session.run_cell()
+    assert isinstance(result.energy, EnergyReport)
+    assert result.energy.total_j > 0
+    assert result.energy.idle_j > 0
+    joules_per_op = result.energy.joules_per_op(result.operations)
+    assert joules_per_op > 0
+
+
+def test_throttled_cell_burns_more_energy_per_op():
+    """Idle power dominates at low utilization — the BigDataBench-style
+    energy metric penalizes underused clusters per operation."""
+    def run(target):
+        config = default_stress_config("hbase", "read_mostly",
+                                       target_throughput=target)
+        config = replace(config, record_count=1200, operation_count=400,
+                         n_nodes=5, n_threads=8, settle_s=0.5,
+                         load_threads=8)
+        session = ExperimentSession(config)
+        session.load()
+        result = session.run_cell()
+        return result.energy.joules_per_op(result.operations)
+
+    slow = run(200.0)
+    fast = run(None)
+    assert slow > fast * 2

@@ -1,0 +1,273 @@
+"""Unit and integration tests for the HBase engine."""
+
+import pytest
+
+from repro.cluster.topology import Cluster, ClusterSpec
+from repro.keyspace import KEY_DOMAIN, key_for_index, key_for_token, token_of
+from repro.hbase.client import HBaseClient
+from repro.hbase.deployment import HBaseCluster, HBaseSpec
+from repro.hbase.region import Region
+from repro.sim.kernel import Environment
+from repro.sim.rng import RngRegistry
+from repro.storage.lsm import StorageSpec
+
+
+def small_storage():
+    return StorageSpec(memtable_flush_bytes=8192, block_bytes=1024,
+                       block_cache_bytes=8192)
+
+
+@pytest.fixture
+def hbase():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(n_nodes=5), RngRegistry(13))
+    deployment = HBaseCluster(cluster, HBaseSpec(
+        replication=2, regions_per_server=2, storage=small_storage()))
+    client = HBaseClient(deployment, deployment.master_node)
+    return env, cluster, deployment, client
+
+
+def drive(env, generator):
+    return env.run(until=env.process(generator))
+
+
+class TestRegion:
+    def test_contains(self):
+        region = Region(0, 100, 200)
+        assert region.contains(100) and region.contains(199)
+        assert not region.contains(99) and not region.contains(200)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            Region(0, 5, 5)
+
+
+class TestDeployment:
+    def test_presplit_covers_domain(self, hbase):
+        _, _, deployment, _ = hbase
+        regions = deployment.regions
+        assert regions[0].start_token == 0
+        assert regions[-1].end_token == KEY_DOMAIN
+        for left, right in zip(regions, regions[1:]):
+            assert left.end_token == right.start_token
+
+    def test_every_region_assigned(self, hbase):
+        _, _, deployment, _ = hbase
+        assert set(deployment.master.assignment) == \
+            {r.region_id for r in deployment.regions}
+
+    def test_region_lookup_matches_ranges(self, hbase):
+        _, _, deployment, _ = hbase
+        for i in range(200):
+            token = token_of(key_for_index(i))
+            region = deployment.region_for_token(token)
+            assert region.contains(token)
+
+    def test_assignment_balanced(self, hbase):
+        _, _, deployment, _ = hbase
+        per_server = {}
+        for node_id in deployment.master.assignment.values():
+            per_server[node_id] = per_server.get(node_id, 0) + 1
+        assert set(per_server.values()) == {2}
+
+    def test_needs_two_nodes(self):
+        env = Environment()
+        cluster = Cluster(env, ClusterSpec(n_nodes=1), RngRegistry(1))
+        with pytest.raises(ValueError):
+            HBaseCluster(cluster, HBaseSpec())
+
+
+class TestClientOperations:
+    def test_put_get_roundtrip(self, hbase):
+        env, _, _, client = hbase
+
+        def scenario():
+            yield from client.put(key_for_index(1), "value", 100)
+            result = yield from client.get(key_for_index(1), 100)
+            return result
+
+        value, _ts = drive(env, scenario())
+        assert value == "value"
+
+    def test_get_missing_returns_none(self, hbase):
+        env, _, _, client = hbase
+
+        def scenario():
+            result = yield from client.get(key_for_index(77), 100)
+            return result
+
+        assert drive(env, scenario()) is None
+
+    def test_update_overwrites(self, hbase):
+        env, _, _, client = hbase
+
+        def scenario():
+            yield from client.put(key_for_index(2), "v1", 100)
+            yield from client.put(key_for_index(2), "v2", 100)
+            result = yield from client.get(key_for_index(2), 100)
+            return result
+
+        assert drive(env, scenario())[0] == "v2"
+
+    def test_scan_is_sorted_and_complete(self, hbase):
+        env, _, _, client = hbase
+
+        def scenario():
+            for i in range(300):
+                yield from client.put(key_for_index(i), i, 50)
+            rows = yield from client.scan(key_for_index(5), 25, 50)
+            return rows
+
+        rows = drive(env, scenario())
+        keys = [k for k, *_ in rows]
+        assert len(rows) == 25
+        assert keys == sorted(keys)
+        assert keys[0] == key_for_index(5)
+
+    def test_scan_crosses_region_boundaries(self, hbase):
+        env, _, deployment, client = hbase
+
+        def scenario():
+            for i in range(400):
+                yield from client.put(key_for_index(i), i, 50)
+            # Start near the end of the first region.
+            first_region = deployment.regions[0]
+            start_key = key_for_token(first_region.end_token - 1000)
+            rows = yield from client.scan(start_key, 10, 50)
+            return rows
+
+        rows = drive(env, scenario())
+        assert len(rows) == 10
+        tokens = [token_of(k) for k, *_ in rows]
+        boundary = deployment.regions[0].end_token
+        assert any(t >= boundary for t in tokens)
+
+    def test_strong_consistency_read_your_writes(self, hbase):
+        env, _, _, client = hbase
+
+        def scenario():
+            failures = []
+            for i in range(100):
+                yield from client.put(key_for_index(i), f"gen{i}", 50)
+                result = yield from client.get(key_for_index(i), 50)
+                if result is None or result[0] != f"gen{i}":
+                    failures.append(i)
+            return failures
+
+        assert drive(env, scenario()) == []
+
+
+class TestReplicationBehaviour:
+    def _write_latency(self, rf):
+        env = Environment()
+        cluster = Cluster(env, ClusterSpec(n_nodes=6), RngRegistry(29))
+        deployment = HBaseCluster(cluster, HBaseSpec(
+            replication=rf, storage=small_storage()))
+        client = HBaseClient(deployment, deployment.master_node)
+
+        def scenario():
+            latencies = []
+            for i in range(300):
+                start = env.now
+                yield from client.put(key_for_index(i), i, 500)
+                latencies.append(env.now - start)
+            tail = latencies[100:]
+            return sum(tail) / len(tail)
+
+        return env.run(until=env.process(scenario()))
+
+    def test_write_latency_grows_only_mildly_with_rf(self):
+        lat1 = self._write_latency(1)
+        lat5 = self._write_latency(5)
+        assert lat5 > lat1  # extra pipeline hops are not free...
+        assert lat5 < lat1 + 0.0012  # ...but stay in-memory cheap (F2)
+
+    def _read_latency(self, rf):
+        env = Environment()
+        cluster = Cluster(env, ClusterSpec(n_nodes=6), RngRegistry(31))
+        deployment = HBaseCluster(cluster, HBaseSpec(
+            replication=rf, storage=small_storage()))
+        client = HBaseClient(deployment, deployment.master_node)
+
+        def scenario():
+            for i in range(400):
+                yield from client.put(key_for_index(i), i, 200)
+            yield env.timeout(10)
+            latencies = []
+            for i in range(200):
+                start = env.now
+                yield from client.get(key_for_index(i % 400), 200)
+                latencies.append(env.now - start)
+            return sum(latencies) / len(latencies)
+
+        return env.run(until=env.process(scenario()))
+
+    def test_read_latency_independent_of_rf(self):
+        lat1 = self._read_latency(1)
+        lat4 = self._read_latency(4)
+        assert lat4 < lat1 * 1.5 and lat1 < lat4 * 1.5  # F1: flat
+
+    def test_wal_pipeline_replicates_to_rf_datanodes(self, hbase):
+        env, cluster, deployment, client = hbase
+
+        def scenario():
+            for i in range(50):
+                yield from client.put(key_for_index(i), i, 400)
+
+        drive(env, scenario())
+        dirty_nodes = sum(
+            1 for node in cluster.nodes[:-1] if node.disk.dirty_bytes > 0)
+        assert dirty_nodes >= 2  # rf=2 WAL replicas spread over servers
+
+
+class TestFailover:
+    def test_regions_move_after_crash(self):
+        env = Environment()
+        cluster = Cluster(env, ClusterSpec(n_nodes=5), RngRegistry(17))
+        deployment = HBaseCluster(cluster, HBaseSpec(
+            replication=2, storage=small_storage(),
+            failure_detection_s=1.0, region_recovery_s=0.5))
+        client = HBaseClient(deployment, deployment.master_node)
+        victim = deployment.server_nodes[0].node_id
+
+        def scenario():
+            for i in range(100):
+                yield from client.put(key_for_index(i), i, 100)
+            cluster.kill(victim)
+            yield env.timeout(5.0)  # detection + recovery
+            hits = 0
+            for i in range(100):
+                result = yield from client.get(key_for_index(i), 100)
+                if result is not None:
+                    hits += 1
+            return hits
+
+        hits = drive(env, scenario())
+        assert hits == 100  # every region is served again
+        assert deployment.master.failovers
+        assert all(node_id != victim
+                   for node_id in deployment.master.assignment.values())
+
+    def test_moved_region_loses_locality(self):
+        env = Environment()
+        cluster = Cluster(env, ClusterSpec(n_nodes=4), RngRegistry(19))
+        deployment = HBaseCluster(cluster, HBaseSpec(
+            replication=2, regions_per_server=1, storage=small_storage(),
+            failure_detection_s=1.0, region_recovery_s=0.1))
+        client = HBaseClient(deployment, deployment.master_node)
+        victim = deployment.server_nodes[0].node_id
+
+        def scenario():
+            for i in range(300):
+                yield from client.put(key_for_index(i), i, 300)
+            yield env.timeout(5)
+            cluster.kill(victim)
+            yield env.timeout(3)
+            before = cluster.rpc_count
+            for i in range(50):
+                yield from client.get(key_for_index(i), 300)
+            return cluster.rpc_count - before
+
+        rpcs = drive(env, scenario())
+        # Remote HFile reads add dn.read RPCs beyond the client's own gets.
+        assert rpcs > 50

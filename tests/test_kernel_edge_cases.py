@@ -1,0 +1,180 @@
+"""Additional kernel edge cases discovered while building the databases."""
+
+import pytest
+
+from repro.sim.kernel import AllOf, AnyOf, Environment, SimulationError
+from repro.sim.resources import Resource
+
+
+class TestConditionEdgeCases:
+    def test_condition_over_already_processed_events(self, env):
+        done = env.event()
+        done.succeed("early")
+        env.run()
+
+        def proc(env):
+            result = yield AllOf(env, [done, env.timeout(1, "late")])
+            return sorted(str(v) for v in result.values())
+
+        assert env.run(until=env.process(proc(env))) == ["early", "late"]
+
+    def test_nested_conditions(self, env):
+        def proc(env):
+            inner = AnyOf(env, [env.timeout(5, "slow"), env.timeout(1, "a")])
+            outer = AllOf(env, [inner, env.timeout(2, "b")])
+            yield outer
+            return env.now
+
+        assert env.run(until=env.process(proc(env))) == 2.0
+
+    def test_condition_failure_is_defused_for_waiter(self, env):
+        def failing(env):
+            yield env.timeout(1)
+            raise ValueError("expected")
+
+        def waiter(env):
+            try:
+                yield AnyOf(env, [env.process(failing(env)),
+                                  env.timeout(10)])
+            except ValueError:
+                return "caught"
+
+        assert env.run(until=env.process(waiter(env))) == "caught"
+        env.run()  # nothing else blows up afterwards
+
+
+class TestProcessEdgeCases:
+    def test_two_processes_waiting_on_same_event(self, env):
+        shared = env.event()
+        results = []
+
+        def waiter(env, name):
+            value = yield shared
+            results.append((name, value, env.now))
+
+        env.process(waiter(env, "a"))
+        env.process(waiter(env, "b"))
+
+        def firer(env):
+            yield env.timeout(3)
+            shared.succeed("go")
+
+        env.process(firer(env))
+        env.run()
+        assert results == [("a", "go", 3.0), ("b", "go", 3.0)]
+
+    def test_process_waiting_on_failed_shared_event(self, env):
+        shared = env.event()
+        outcomes = []
+
+        def waiter(env, name):
+            try:
+                yield shared
+            except RuntimeError:
+                outcomes.append(name)
+
+        env.process(waiter(env, "a"))
+        env.process(waiter(env, "b"))
+
+        def firer(env):
+            yield env.timeout(1)
+            shared.fail(RuntimeError("nope"))
+
+        env.process(firer(env))
+        env.run()
+        assert outcomes == ["a", "b"]
+
+    def test_immediate_return_process(self, env):
+        def proc(env):
+            return "instant"
+            yield  # pragma: no cover
+
+        assert env.run(until=env.process(proc(env))) == "instant"
+
+    def test_deeply_chained_yield_from(self, env):
+        def level(n):
+            if n == 0:
+                yield env.timeout(1)
+                return 0
+            result = yield from level(n - 1)
+            return result + 1
+
+        def proc(env):
+            result = yield from level(50)
+            return result
+
+        assert env.run(until=env.process(proc(env))) == 50
+
+
+class TestResourceEdgeCases:
+    def test_release_is_idempotent(self, env):
+        res = Resource(env, capacity=1)
+
+        def proc(env):
+            req = res.request()
+            yield req
+            res.release(req)
+            res.release(req)  # double release must not corrupt state
+            return res.count
+
+        assert env.run(until=env.process(proc(env))) == 0
+
+    def test_interleaved_priorities_and_cancellations(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(1)
+
+        def worker(env, name, priority):
+            with res.request(priority=priority) as req:
+                yield req
+                order.append(name)
+                yield env.timeout(0.1)
+
+        def canceller(env):
+            req = res.request(priority=-5)  # would be first
+            yield env.timeout(0.5)
+            req.cancel()
+
+        env.process(holder(env))
+
+        def submit(env):
+            yield env.timeout(0.01)
+            env.process(canceller(env))
+            env.process(worker(env, "low", 10))
+            env.process(worker(env, "high", 0))
+
+        env.process(submit(env))
+        env.run()
+        assert order == ["high", "low"]
+
+    def test_peek_reports_next_event_time(self, env):
+        env.timeout(7)
+        assert env.peek() == 7.0
+        env.run()
+        assert env.peek() == float("inf")
+
+
+class TestDeterminismUnderLoad:
+    def test_complex_scenario_is_bit_reproducible(self):
+        def run_once():
+            env = Environment()
+            res = Resource(env, capacity=2)
+            trace = []
+
+            def worker(env, worker_id):
+                for i in range(10):
+                    with res.request(priority=worker_id % 3) as req:
+                        yield req
+                        yield env.timeout(0.01 * ((worker_id + i) % 7 + 1))
+                        trace.append((round(env.now, 9), worker_id, i))
+
+            for worker_id in range(8):
+                env.process(worker(env, worker_id))
+            env.run()
+            return trace
+
+        assert run_once() == run_once()

@@ -1,0 +1,129 @@
+"""Small-scale versions of the paper's findings F1–F6.
+
+These are the repository's contract with the paper: each test runs a
+miniature version of one experiment and asserts the qualitative shape.
+The full-scale versions live in ``benchmarks/``; here the populations are
+small enough for the unit-test budget, so tolerances are generous.
+"""
+
+import pytest
+
+from repro.cassandra.consistency import ConsistencyLevel
+from repro.core.sweep import (
+    SweepScale,
+    consistency_stress_sweep,
+    replication_micro_sweep,
+    replication_stress_sweep,
+)
+
+SCALE = SweepScale(record_count=6_000, operation_count=1_200,
+                   n_threads=24, n_nodes=10,
+                   targets=(3_000.0, None), seed=99)
+
+#: The stress shapes need the population/memory ratio of the real
+#: experiment (see ``scaled_stress_storage``), which the sweeps derive
+#: automatically; a slightly larger population keeps it stable.
+STRESS_SCALE = SweepScale(record_count=8_000, operation_count=1_500,
+                          n_threads=32, n_nodes=12,
+                          targets=(3_000.0, None), seed=99)
+
+
+@pytest.fixture(scope="module")
+def micro():
+    return {db: replication_micro_sweep(db, (1, 5), SCALE)
+            for db in ("hbase", "cassandra")}
+
+
+class TestFig1Shapes:
+    def test_f1_hbase_reads_flat(self, micro):
+        sweep = micro["hbase"]
+        assert sweep[5]["read"]["mean_ms"] < sweep[1]["read"]["mean_ms"] * 1.8
+        assert sweep[5]["scan"]["mean_ms"] < sweep[1]["scan"]["mean_ms"] * 1.8
+
+    def test_f2_hbase_writes_no_dramatic_change(self, micro):
+        sweep = micro["hbase"]
+        # Five extra in-memory pipeline hops stay under a millisecond.
+        assert (sweep[5]["insert"]["mean_ms"]
+                - sweep[1]["insert"]["mean_ms"]) < 1.0
+
+    def test_f3_cassandra_writes_flat(self, micro):
+        sweep = micro["cassandra"]
+        assert sweep[5]["update"]["mean_ms"] < \
+            sweep[1]["update"]["mean_ms"] * 1.6
+        assert sweep[5]["insert"]["mean_ms"] < \
+            sweep[1]["insert"]["mean_ms"] * 1.6
+
+    def test_f4_cassandra_reads_climb(self, micro):
+        sweep = micro["cassandra"]
+        assert sweep[5]["read"]["mean_ms"] > \
+            sweep[1]["read"]["mean_ms"] * 1.5
+
+    def test_f4_contrast_between_systems(self, micro):
+        hbase_growth = (micro["hbase"][5]["read"]["mean_ms"]
+                        / micro["hbase"][1]["read"]["mean_ms"])
+        cassandra_growth = (micro["cassandra"][5]["read"]["mean_ms"]
+                            / micro["cassandra"][1]["read"]["mean_ms"])
+        assert cassandra_growth > hbase_growth
+
+
+class TestFig2Shapes:
+    @pytest.fixture(scope="class")
+    def stress(self):
+        workloads = ("read_mostly", "read_update")
+        return {db: replication_stress_sweep(db, (1, 6), STRESS_SCALE,
+                                             workloads=workloads)
+                for db in ("hbase", "cassandra")}
+
+    def test_f5_cassandra_peak_falls_with_rf(self, stress):
+        sweep = stress["cassandra"]
+        assert sweep[6]["read_mostly"]["peak_throughput"] < \
+            sweep[1]["read_mostly"]["peak_throughput"] * 0.8
+
+    def test_f5_hbase_holds_up_better_than_cassandra(self, stress):
+        def retention(sweep, workload):
+            return (sweep[6][workload]["peak_throughput"]
+                    / sweep[1][workload]["peak_throughput"])
+
+        assert retention(stress["hbase"], "read_mostly") > \
+            retention(stress["cassandra"], "read_mostly")
+
+    def test_f5_closed_loop_littles_law(self, stress):
+        for sweep in stress.values():
+            for per_workload in sweep.values():
+                for cell in per_workload.values():
+                    for _target, runtime, mean_ms in cell["per_target"]:
+                        if mean_ms > 0:
+                            cap = STRESS_SCALE.n_threads / (mean_ms / 1000.0)
+                            assert runtime <= cap * 1.3
+
+
+class TestFig3Shapes:
+    @pytest.fixture(scope="class")
+    def consistency(self):
+        return consistency_stress_sweep(
+            STRESS_SCALE, workloads=("read_latest", "scan_short_ranges",
+                                     "read_update"))
+
+    def test_f6b_scan_insensitive_to_cl(self, consistency):
+        peaks = [consistency[mode]["scan_short_ranges"]["peak_throughput"]
+                 for mode in consistency]
+        assert max(peaks) < min(peaks) * 2.0
+
+    def test_f6c_one_wins_write_heavy(self, consistency):
+        peaks = {mode: consistency[mode]["read_update"]["peak_throughput"]
+                 for mode in consistency}
+        assert peaks["ONE"] >= max(peaks.values()) * 0.8
+
+    def test_f6c_write_all_pays_for_stragglers(self, consistency):
+        peaks = {mode: consistency[mode]["read_update"]["peak_throughput"]
+                 for mode in consistency}
+        assert peaks["write ALL"] < peaks["ONE"]
+
+
+class TestConsistencyCorrectness:
+    def test_modes_cover_paper_rounds(self):
+        from repro.core.sweep import CONSISTENCY_MODES
+        assert set(CONSISTENCY_MODES) == {"ONE", "QUORUM", "write ALL"}
+        read_cl, write_cl = CONSISTENCY_MODES["write ALL"]
+        assert read_cl is ConsistencyLevel.ONE
+        assert write_cl is ConsistencyLevel.ALL

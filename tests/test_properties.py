@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cassandra.consistency import ConsistencyLevel
+from repro.cassandra.partitioner import TokenRing
+from repro.keyspace import KEY_DOMAIN, key_for_token, token_of
+from repro.storage.bloom import BloomFilter
+from repro.storage.cache import BlockCache
+from repro.storage.compaction import merge_tables
+from repro.storage.memtable import Memtable
+from repro.storage.sstable import SSTable
+from repro.ycsb.generators import DiscreteGenerator, ZipfianGenerator
+from repro.ycsb.measurements import percentile
+
+keys = st.text(alphabet="abcdefghij", min_size=1, max_size=8)
+
+
+class TestMemtableModel:
+    """The memtable behaves like a dict that keeps the max-timestamp entry."""
+
+    @given(st.lists(st.tuples(keys, st.integers(), st.floats(
+        min_value=0, max_value=1e6, allow_nan=False)), max_size=200))
+    def test_matches_model(self, operations):
+        table = Memtable()
+        model: dict = {}
+        for key, value, ts in operations:
+            table.put(key, value, 10, ts)
+            if key not in model or ts >= model[key][1]:
+                model[key] = (value, ts)
+        for key, (value, ts) in model.items():
+            got = table.get(key)
+            assert got is not None
+            assert got[1] == ts
+        assert len(table) == len(model)
+
+    @given(st.lists(st.tuples(keys, st.integers()), min_size=1, max_size=100))
+    def test_items_sorted(self, operations):
+        table = Memtable()
+        for key, value in operations:
+            table.put(key, value, 1, 1.0)
+        sorted_keys = [k for k, *_ in table.items_sorted()]
+        assert sorted_keys == sorted(sorted_keys)
+
+
+class TestSSTableModel:
+    @given(st.dictionaries(keys, st.integers(), min_size=1, max_size=100),
+           st.integers(min_value=64, max_value=4096))
+    def test_get_matches_dict(self, data, block_bytes):
+        entries = [(k, v, 1.0, 32) for k, v in sorted(data.items())]
+        table = SSTable(entries, block_bytes=block_bytes)
+        for k, v in data.items():
+            assert table.get(k) == (v, 1.0, 32)
+            assert table.might_contain(k)  # no false negatives
+
+    @given(st.dictionaries(keys, st.integers(), min_size=1, max_size=80),
+           keys, st.integers(min_value=1, max_value=30))
+    def test_range_scan_matches_sorted_slice(self, data, start, limit):
+        entries = [(k, v, 1.0, 16) for k, v in sorted(data.items())]
+        table = SSTable(entries, block_bytes=256)
+        _, got = table.blocks_for_range(start, limit)
+        expected = [k for k in sorted(data) if k >= start][:limit]
+        assert [k for k, *_ in got] == expected
+
+
+class TestBloomProperty:
+    @given(st.sets(keys, min_size=1, max_size=200))
+    def test_no_false_negatives(self, added):
+        bloom = BloomFilter(len(added), 0.01)
+        for key in added:
+            bloom.add(key)
+        assert all(bloom.might_contain(k) for k in added)
+
+
+class TestCompactionProperty:
+    @given(st.lists(st.dictionaries(keys, st.tuples(
+        st.integers(), st.floats(min_value=0, max_value=100,
+                                 allow_nan=False)),
+        max_size=30), min_size=1, max_size=5))
+    def test_merge_keeps_newest_version(self, table_contents):
+        tables = []
+        model: dict = {}
+        for content in table_contents:
+            entries = [(k, v, ts, 8) for k, (v, ts) in sorted(content.items())]
+            tables.append(SSTable(entries, block_bytes=128))
+            for k, (v, ts) in content.items():
+                if k not in model or ts >= model[k][1]:
+                    model[k] = (v, ts)
+        merged = merge_tables(tables)
+        assert len(merged) == len(model)
+        for key, _value, ts, _size in merged:
+            assert ts == model[key][1]
+
+
+class TestCacheProperty:
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 20)),
+                    max_size=200),
+           st.integers(min_value=1, max_value=50))
+    def test_budget_never_exceeded(self, accesses, capacity_blocks):
+        cache = BlockCache(capacity_blocks * 100)
+        for sstable_id, block in accesses:
+            if not cache.contains(sstable_id, block):
+                cache.insert(sstable_id, block, 100)
+            assert cache.used_bytes <= cache.capacity_bytes
+
+
+class TestRingProperties:
+    @given(st.integers(min_value=1, max_value=12),
+           st.integers(min_value=0, max_value=KEY_DOMAIN - 1),
+           st.integers(min_value=1, max_value=12),
+           st.integers())
+    @settings(max_examples=50)
+    def test_placement_invariants(self, n_nodes, token, rf, seed):
+        ring = TokenRing(list(range(n_nodes)), vnodes=8,
+                         rng=random.Random(seed))
+        replicas = ring.replicas_for_token(token, rf)
+        assert len(replicas) == min(rf, n_nodes)
+        assert len(set(replicas)) == len(replicas)
+        # Prefix property (SimpleStrategy).
+        fewer = ring.replicas_for_token(token, max(1, rf - 1))
+        assert replicas[:len(fewer)] == fewer
+
+
+class TestConsistencyArithmetic:
+    @given(st.sampled_from(list(ConsistencyLevel)),
+           st.sampled_from(list(ConsistencyLevel)),
+           st.integers(min_value=1, max_value=9))
+    def test_quorum_overlap_theorem(self, read_cl, write_cl, rf):
+        """R + W > N if and only if is_strong_with says so."""
+        try:
+            r = read_cl.required(rf)
+            w = write_cl.required(rf)
+        except Exception:
+            return  # level impossible at this rf
+        assert read_cl.is_strong_with(write_cl, rf) == (r + w > rf)
+
+    @given(st.integers(min_value=1, max_value=100))
+    def test_quorum_majority(self, rf):
+        q = ConsistencyLevel.QUORUM.required(rf)
+        assert 2 * q > rf
+        assert 2 * (q - 1) <= rf
+
+
+class TestKeyspaceProperty:
+    @given(st.integers(min_value=0, max_value=KEY_DOMAIN - 1))
+    def test_token_roundtrip(self, token):
+        assert token_of(key_for_token(token)) == token
+
+    @given(st.lists(st.integers(min_value=0, max_value=KEY_DOMAIN - 1),
+                    min_size=2, max_size=50))
+    def test_order_preserved(self, tokens):
+        keys_list = [key_for_token(t) for t in tokens]
+        assert sorted(keys_list) == [key_for_token(t)
+                                     for t in sorted(tokens)]
+
+
+class TestStatisticsProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e3,
+                              allow_nan=False), min_size=1, max_size=300))
+    def test_percentile_bounds(self, values):
+        ordered = sorted(values)
+        p50 = percentile(ordered, 0.50)
+        p95 = percentile(ordered, 0.95)
+        p99 = percentile(ordered, 0.99)
+        assert ordered[0] <= p50 <= p95 <= p99 <= ordered[-1]
+
+    @given(st.lists(st.tuples(st.sampled_from("abc"),
+                              st.floats(min_value=0.01, max_value=10,
+                                        allow_nan=False)),
+                    min_size=2, max_size=100))
+    def test_discrete_generator_normalizes(self, weighted):
+        gen = DiscreteGenerator(weighted, random.Random(0))
+        labels = {label for label, _ in weighted}
+        assert all(gen.next() in labels for _ in range(50))
+
+
+class TestZipfianProperty:
+    @given(st.integers(min_value=1, max_value=5000), st.integers())
+    @settings(max_examples=30)
+    def test_range_invariant(self, n, seed):
+        gen = ZipfianGenerator(n, random.Random(seed))
+        assert all(0 <= gen.next() < n for _ in range(200))

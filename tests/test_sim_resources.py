@@ -1,0 +1,256 @@
+"""Unit tests for Resource / PriorityResource / Store / Container."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError
+from repro.sim.resources import Container, PriorityResource, Resource, Store
+
+
+class TestResource:
+    def test_capacity_serializes_users(self, env):
+        res = Resource(env, capacity=1)
+        log = []
+
+        def worker(env, name, hold):
+            with res.request() as req:
+                yield req
+                log.append((env.now, name))
+                yield env.timeout(hold)
+
+        env.process(worker(env, "a", 2))
+        env.process(worker(env, "b", 3))
+        env.process(worker(env, "c", 1))
+        env.run()
+        assert log == [(0.0, "a"), (2.0, "b"), (5.0, "c")]
+
+    def test_multiple_slots_run_concurrently(self, env):
+        res = Resource(env, capacity=2)
+        done = []
+
+        def worker(env, name):
+            with res.request() as req:
+                yield req
+                yield env.timeout(4)
+                done.append((env.now, name))
+
+        for name in "abcd":
+            env.process(worker(env, name))
+        env.run()
+        assert done == [(4.0, "a"), (4.0, "b"), (8.0, "c"), (8.0, "d")]
+
+    def test_invalid_capacity_rejected(self, env):
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+    def test_release_via_context_manager(self, env):
+        res = Resource(env, capacity=1)
+
+        def worker(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(1)
+            return res.count
+
+        assert env.run(until=env.process(worker(env))) == 0
+
+    def test_cancel_queued_request(self, env):
+        res = Resource(env, capacity=1)
+        served = []
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        def impatient(env):
+            req = res.request()
+            yield env.timeout(1)
+            req.cancel()
+            served.append("gave-up")
+
+        def patient(env):
+            with res.request() as req:
+                yield req
+                served.append(("served", env.now))
+
+        env.process(holder(env))
+        env.process(impatient(env))
+        env.process(patient(env))
+        env.run()
+        assert "gave-up" in served
+        assert ("served", 10.0) in served
+
+    def test_queue_len_counts_waiters(self, env):
+        res = Resource(env, capacity=1)
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(5)
+
+        def waiter(env):
+            with res.request() as req:
+                yield req
+
+        env.process(holder(env))
+        env.process(waiter(env))
+        env.process(waiter(env))
+        env.run(until=1.0)
+        assert res.queue_len == 2 and res.count == 1
+
+
+class TestPriorityResource:
+    def test_lower_priority_value_served_first(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(1)
+
+        def worker(env, name, priority):
+            with res.request(priority=priority) as req:
+                yield req
+                order.append(name)
+                yield env.timeout(1)
+
+        env.process(holder(env))
+
+        def submit(env):
+            yield env.timeout(0.1)
+            env.process(worker(env, "background", 10))
+            env.process(worker(env, "foreground", 0))
+
+        env.process(submit(env))
+        env.run()
+        assert order == ["foreground", "background"]
+
+    def test_fifo_within_same_priority(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def worker(env, name):
+            with res.request(priority=5) as req:
+                yield req
+                order.append(name)
+                yield env.timeout(1)
+
+        for name in ("first", "second", "third"):
+            env.process(worker(env, name))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+
+class TestStore:
+    def test_fifo_order(self, env):
+        store = Store(env)
+        got = []
+
+        def producer(env):
+            for item in ("x", "y", "z"):
+                yield store.put(item)
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == ["x", "y", "z"]
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+
+        def consumer(env):
+            item = yield store.get()
+            return item, env.now
+
+        def producer(env):
+            yield env.timeout(3)
+            yield store.put("late")
+
+        consumer_proc = env.process(consumer(env))
+        env.process(producer(env))
+        assert env.run(until=consumer_proc) == ("late", 3.0)
+
+    def test_put_blocks_when_full(self, env):
+        store = Store(env, capacity=1)
+        times = []
+
+        def producer(env):
+            yield store.put(1)
+            times.append(env.now)
+            yield store.put(2)
+            times.append(env.now)
+
+        def consumer(env):
+            yield env.timeout(5)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert times == [0.0, 5.0]
+
+    def test_invalid_capacity_rejected(self, env):
+        with pytest.raises(SimulationError):
+            Store(env, capacity=0)
+
+
+class TestContainer:
+    def test_put_then_get(self, env):
+        box = Container(env, capacity=10)
+
+        def proc(env):
+            yield box.put(4)
+            yield box.get(3)
+            return box.level
+
+        assert env.run(until=env.process(proc(env))) == 1.0
+
+    def test_get_blocks_until_level_sufficient(self, env):
+        box = Container(env, capacity=10)
+
+        def consumer(env):
+            yield box.get(5)
+            return env.now
+
+        def producer(env):
+            for _ in range(5):
+                yield env.timeout(1)
+                yield box.put(1)
+
+        consumer_proc = env.process(consumer(env))
+        env.process(producer(env))
+        assert env.run(until=consumer_proc) == 5.0
+
+    def test_put_blocks_at_capacity(self, env):
+        box = Container(env, capacity=5, init=5)
+
+        def producer(env):
+            yield box.put(2)
+            return env.now
+
+        def consumer(env):
+            yield env.timeout(2)
+            yield box.get(3)
+
+        producer_proc = env.process(producer(env))
+        env.process(consumer(env))
+        assert env.run(until=producer_proc) == 2.0
+
+    def test_invalid_amounts_rejected(self, env):
+        box = Container(env, capacity=5)
+        with pytest.raises(SimulationError):
+            box.put(0)
+        with pytest.raises(SimulationError):
+            box.get(-1)
+        with pytest.raises(SimulationError):
+            box.put(6)
+
+    def test_invalid_init_rejected(self, env):
+        with pytest.raises(SimulationError):
+            Container(env, capacity=5, init=6)

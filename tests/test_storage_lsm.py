@@ -1,0 +1,210 @@
+"""Unit tests for the LSM engine over a local-disk medium."""
+
+import pytest
+
+from repro.cluster.topology import Cluster, ClusterSpec
+from repro.sim.kernel import Environment
+from repro.sim.rng import RngRegistry
+from repro.storage.lsm import LocalDiskMedium, LsmTree, StorageSpec
+
+
+@pytest.fixture
+def tree_env():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(n_nodes=1), RngRegistry(5))
+    node = cluster.node(0)
+    spec = StorageSpec(memtable_flush_bytes=2048, block_bytes=512,
+                       block_cache_bytes=2048, compaction_min_batch=3,
+                       compaction_max_batch=6)
+    tree = LsmTree(env, node, LocalDiskMedium(node), spec)
+    return env, tree
+
+
+def drive(env, generator):
+    return env.run(until=env.process(generator))
+
+
+class TestLsmBasics:
+    def test_put_get_roundtrip(self, tree_env):
+        env, tree = tree_env
+
+        def scenario():
+            yield from tree.put("key1", "value1", 100, 1.0)
+            result = yield from tree.get("key1")
+            return result
+
+        assert drive(env, scenario()) == ("value1", 1.0)
+
+    def test_get_missing_returns_none(self, tree_env):
+        env, tree = tree_env
+
+        def scenario():
+            result = yield from tree.get("ghost")
+            return result
+
+        assert drive(env, scenario()) is None
+
+    def test_update_visible_after_flush(self, tree_env):
+        env, tree = tree_env
+
+        def scenario():
+            # Enough data to force several flushes (2 KB threshold).
+            for i in range(100):
+                yield from tree.put(f"key{i:04d}", i, 100, float(i))
+            yield from tree.put("key0010", "updated", 100, 1e6)
+            result = yield from tree.get("key0010")
+            return result
+
+        value, ts = drive(env, scenario())
+        assert value == "updated" and ts == 1e6
+        env.run(until=env.now + 10)  # background flushes complete
+        assert tree.n_sstables >= 1
+
+    def test_lww_across_memtable_and_sstable(self, tree_env):
+        env, tree = tree_env
+
+        def scenario():
+            yield from tree.put("k", "newest", 100, 100.0)
+            for i in range(50):  # push "newest" into an SSTable
+                yield from tree.put(f"filler{i}", i, 100, float(i))
+            yield env.timeout(5)
+            yield from tree.put("k", "stale", 100, 1.0)  # out-of-order write
+            result = yield from tree.get("k")
+            return result
+
+        value, ts = drive(env, scenario())
+        assert value == "newest" and ts == 100.0
+
+    def test_scan_merges_sources_in_key_order(self, tree_env):
+        env, tree = tree_env
+
+        def scenario():
+            for i in range(60):
+                yield from tree.put(f"key{i:04d}", i, 100, 1.0)
+            yield env.timeout(5)  # flushes complete
+            yield from tree.put("key0005", "fresh", 100, 2.0)  # in memtable
+            rows = yield from tree.scan("key0003", 5)
+            return rows
+
+        rows = drive(env, scenario())
+        assert [k for k, _, _ in rows] == [f"key{i:04d}" for i in range(3, 8)]
+        assert dict((k, v) for k, v, _ in rows)["key0005"] == "fresh"
+
+    def test_scan_limit_zero_like_behavior(self, tree_env):
+        env, tree = tree_env
+
+        def scenario():
+            yield from tree.put("a", 1, 10, 1.0)
+            rows = yield from tree.scan("z", 10)
+            return rows
+
+        assert drive(env, scenario()) == []
+
+
+class TestLsmMechanics:
+    def test_flush_rotates_memtable(self, tree_env):
+        env, tree = tree_env
+
+        def scenario():
+            for i in range(30):  # 30 * 100 B > 2 KB threshold
+                yield from tree.put(f"key{i:04d}", i, 100, 1.0)
+            yield env.timeout(10)
+
+        drive(env, scenario())
+        assert tree.stats["flushes"] >= 1
+        assert tree.n_sstables >= 1
+        assert tree.active.size_bytes < tree.spec.memtable_flush_bytes
+
+    def test_compaction_bounds_sstable_count(self, tree_env):
+        env, tree = tree_env
+
+        def scenario():
+            for i in range(400):
+                yield from tree.put(f"key{i:05d}", i, 100, float(i))
+            yield env.timeout(60)
+
+        drive(env, scenario())
+        assert tree.stats["compactions"] >= 1
+        # Without compaction there would be ~20 tables.
+        assert tree.n_sstables < 12
+
+    def test_compaction_preserves_data(self, tree_env):
+        env, tree = tree_env
+
+        def scenario():
+            for i in range(200):
+                yield from tree.put(f"key{i:05d}", i, 100, float(i))
+            yield env.timeout(60)
+            results = []
+            for i in range(0, 200, 17):
+                r = yield from tree.get(f"key{i:05d}")
+                results.append((i, r))
+            return results
+
+        for i, result in drive(env, scenario()):
+            assert result is not None and result[0] == i
+
+    def test_block_cache_hits_reduce_io(self, tree_env):
+        env, tree = tree_env
+
+        def scenario():
+            for i in range(60):
+                yield from tree.put(f"key{i:04d}", i, 100, 1.0)
+            yield env.timeout(10)
+            for _ in range(10):  # repeated reads of one key
+                yield from tree.get("key0030")
+
+        drive(env, scenario())
+        assert tree.cache.hits > 0
+
+    def test_wal_records_appends(self, tree_env):
+        env, tree = tree_env
+
+        def scenario():
+            yield from tree.put("a", 1, 123, 1.0)
+            yield from tree.put("b", 2, 456, 1.0)
+
+        drive(env, scenario())
+        assert tree.wal.appends == 2
+
+    def test_put_charges_simulated_time(self, tree_env):
+        env, tree = tree_env
+
+        def scenario():
+            yield from tree.put("a", 1, 100, 1.0)
+            return env.now
+
+        assert drive(env, scenario()) > 0.0
+
+    def test_disk_reads_happen_on_cold_gets(self, tree_env):
+        env, tree = tree_env
+
+        def scenario():
+            for i in range(100):
+                yield from tree.put(f"key{i:04d}", i, 100, 1.0)
+            yield env.timeout(10)
+            yield from tree.get("key0000")
+
+        drive(env, scenario())
+        assert tree.stats["block_reads"] >= 1
+        assert tree.node.disk.bytes_read > 0
+
+
+class TestWalSync:
+    def test_sync_wal_is_slower(self):
+        def latency(sync):
+            env = Environment()
+            cluster = Cluster(env, ClusterSpec(n_nodes=1), RngRegistry(5))
+            node = cluster.node(0)
+            spec = StorageSpec(wal_sync_each_append=sync)
+            tree = LsmTree(env, node, LocalDiskMedium(node), spec)
+
+            def scenario():
+                start = env.now
+                for i in range(20):
+                    yield from tree.put(f"k{i}", i, 100, 1.0)
+                return env.now - start
+
+            return env.run(until=env.process(scenario()))
+
+        assert latency(True) > latency(False) * 5

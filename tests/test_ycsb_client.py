@@ -1,0 +1,144 @@
+"""Integration tests for the closed-loop YCSB client."""
+
+import pytest
+
+from repro.cluster.topology import Cluster, ClusterSpec
+from repro.keyspace import key_for_index
+from repro.hbase.client import HBaseClient
+from repro.hbase.deployment import HBaseCluster, HBaseSpec
+from repro.sim.kernel import Environment
+from repro.sim.rng import RngRegistry
+from repro.storage.lsm import StorageSpec
+from repro.ycsb.client import YcsbClient
+from repro.ycsb.db import HBaseBinding
+from repro.ycsb.workload import STRESS_WORKLOADS, Workload, WorkloadSpec
+
+
+def build_client(workload_spec=None, records=500, seed=3):
+    env = Environment()
+    rngs = RngRegistry(seed)
+    cluster = Cluster(env, ClusterSpec(n_nodes=5), rngs)
+    hbase = HBaseCluster(cluster, HBaseSpec(
+        replication=2,
+        storage=StorageSpec(memtable_flush_bytes=16384, block_bytes=2048,
+                            block_cache_bytes=16384)))
+    binding = HBaseBinding(HBaseClient(hbase, hbase.master_node))
+    spec = workload_spec or STRESS_WORKLOADS["read_update"]
+    workload = Workload(spec, records, rngs.stream("wl"))
+    client = YcsbClient(env, binding, workload, rngs.stream("cl"),
+                        client_node=hbase.master_node)
+    return env, client, workload
+
+
+def drive(env, generator):
+    return env.run(until=env.process(generator))
+
+
+class TestLoadPhase:
+    def test_load_inserts_all_records(self):
+        env, client, _ = build_client(records=300)
+        result = drive(env, client.load(300, n_threads=8))
+        assert result.records == 300
+        assert result.throughput > 0
+
+    def test_loaded_records_readable(self):
+        env, client, _ = build_client(records=200)
+        drive(env, client.load(200, n_threads=8))
+
+        def verify():
+            found = 0
+            for i in range(200):
+                result = yield from client.db.read(key_for_index(i), 1000)
+                if result is not None:
+                    found += 1
+            return found
+
+        assert drive(env, verify()) == 200
+
+    def test_more_threads_load_faster(self):
+        env1, client1, _ = build_client(records=400, seed=5)
+        slow = drive(env1, client1.load(400, n_threads=2))
+        env2, client2, _ = build_client(records=400, seed=5)
+        fast = drive(env2, client2.load(400, n_threads=16))
+        assert fast.duration_s < slow.duration_s
+
+
+class TestRunPhase:
+    def test_run_executes_requested_ops(self):
+        env, client, _ = build_client(records=400)
+        drive(env, client.load(400, n_threads=8))
+        result = drive(env, client.run(500, n_threads=8,
+                                       warmup_fraction=0.0))
+        assert result.operations == 500
+        assert result.duration_s > 0
+        assert result.throughput > 0
+
+    def test_warmup_excluded_from_measurements(self):
+        env, client, _ = build_client(records=400)
+        drive(env, client.load(400, n_threads=8))
+        result = drive(env, client.run(500, n_threads=8,
+                                       warmup_fraction=0.2))
+        assert result.operations == 400  # 100 warm-up ops unrecorded
+
+    def test_mix_is_recorded_per_op(self):
+        env, client, _ = build_client(records=400)
+        drive(env, client.load(400, n_threads=8))
+        result = drive(env, client.run(600, n_threads=8,
+                                       warmup_fraction=0.0))
+        reads = result.stats("read").count
+        updates = result.stats("update").count
+        assert reads + updates == 600
+        assert reads > updates  # 50/50 ± noise would fail; it's ~50/50
+        assert abs(reads - 300) < 80
+
+    def test_target_throttle_caps_rate(self):
+        env, client, _ = build_client(records=400)
+        drive(env, client.load(400, n_threads=8))
+        result = drive(env, client.run(400, n_threads=8,
+                                       target_throughput=500.0,
+                                       warmup_fraction=0.0))
+        assert result.throughput <= 600  # near but not above target
+
+    def test_unthrottled_exceeds_throttled(self):
+        env, client, _ = build_client(records=400, seed=7)
+        drive(env, client.load(400, n_threads=8))
+        throttled = drive(env, client.run(300, n_threads=8,
+                                          target_throughput=300.0,
+                                          warmup_fraction=0.0))
+        free = drive(env, client.run(300, n_threads=8,
+                                     warmup_fraction=0.0))
+        assert free.throughput > throttled.throughput * 1.5
+
+    def test_closed_loop_latency_throughput_inverse(self):
+        """The paper's F5: runtime throughput inversely tracks latency."""
+        env, client, _ = build_client(records=400, seed=9)
+        drive(env, client.load(400, n_threads=8))
+        result = drive(env, client.run(400, n_threads=4,
+                                       warmup_fraction=0.0))
+        predicted = 4 / result.overall().mean
+        assert result.throughput == pytest.approx(predicted, rel=0.35)
+
+    def test_rmw_counts_as_single_op(self):
+        spec = WorkloadSpec(name="rmw_only",
+                            read_modify_write_proportion=1.0,
+                            record_bytes=500)
+        env, client, _ = build_client(spec, records=300)
+        drive(env, client.load(300, n_threads=8))
+        result = drive(env, client.run(200, n_threads=4,
+                                       warmup_fraction=0.0))
+        assert result.stats("read_modify_write").count == 200
+
+    def test_scan_workload_runs(self):
+        env, client, _ = build_client(STRESS_WORKLOADS["scan_short_ranges"],
+                                      records=400)
+        drive(env, client.load(400, n_threads=8))
+        result = drive(env, client.run(150, n_threads=4,
+                                       warmup_fraction=0.0))
+        assert result.stats("scan").count > 100
+
+    def test_insert_workload_extends_population(self):
+        env, client, workload = build_client(
+            STRESS_WORKLOADS["read_latest"], records=300)
+        drive(env, client.load(300, n_threads=8))
+        drive(env, client.run(300, n_threads=4, warmup_fraction=0.0))
+        assert workload.insert_counter.last() > 300

@@ -1,0 +1,135 @@
+"""Unit tests for latency measurement and the SLA evaluator."""
+
+import pytest
+
+from repro.core.sla import Sla, evaluate_sla, max_throughput_under_sla
+from repro.ycsb.measurements import LatencyStats, Measurements, percentile
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single(self):
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_median_of_odd(self):
+        assert percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_p99_near_max(self):
+        values = sorted(float(i) for i in range(100))
+        assert percentile(values, 0.99) == 98.0
+
+
+class TestMeasurements:
+    def test_record_and_stats(self):
+        m = Measurements()
+        for i, latency in enumerate([0.001, 0.002, 0.003]):
+            m.record("read", float(i), latency)
+        stats = m.stats("read")
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(0.002)
+        assert stats.minimum == 0.001 and stats.maximum == 0.003
+        assert stats.mean_ms == pytest.approx(2.0)
+
+    def test_unknown_op_empty_stats(self):
+        stats = Measurements().stats("scan")
+        assert stats.count == 0 and stats.mean == 0.0
+
+    def test_errors_tracked_separately(self):
+        m = Measurements()
+        m.record_error("update")
+        m.record_error("update")
+        assert m.stats("update").errors == 2
+        assert m.total_errors == 2
+
+    def test_throughput(self):
+        m = Measurements()
+        m.started_at = 10.0
+        m.finished_at = 20.0
+        for i in range(50):
+            m.record("read", 10.0 + i * 0.2, 0.001)
+        assert m.throughput == pytest.approx(5.0)
+
+    def test_throughput_zero_without_window(self):
+        assert Measurements().throughput == 0.0
+
+    def test_overall_merges_ops(self):
+        m = Measurements()
+        m.record("read", 1.0, 0.001)
+        m.record("update", 2.0, 0.003)
+        overall = m.overall_stats()
+        assert overall.count == 2
+        assert overall.mean == pytest.approx(0.002)
+
+    def test_timeline_buckets(self):
+        m = Measurements()
+        for t in (0.1, 0.2, 1.5, 2.9):
+            m.record("read", t, 0.01)
+        timeline = m.timeline(1.0)
+        assert [ops for _, ops, _ in timeline] == [2, 1, 1]
+
+    def test_timeline_invalid_bucket(self):
+        with pytest.raises(ValueError):
+            Measurements().timeline(0)
+
+    def test_empty_latency_stats(self):
+        stats = LatencyStats.empty()
+        assert stats.count == 0 and stats.p99_ms == 0.0
+
+
+class TestSla:
+    def make_measurements(self, latencies, spacing=0.1):
+        m = Measurements()
+        for i, latency in enumerate(latencies):
+            m.record("read", i * spacing, latency)
+        return m
+
+    def test_satisfied_when_all_fast(self):
+        m = self.make_measurements([0.001] * 100)
+        report = evaluate_sla(m, Sla(percentile=0.95, latency_ms=10))
+        assert report.satisfied
+        assert report.overall_fraction == 1.0
+
+    def test_violated_when_too_slow(self):
+        m = self.make_measurements([0.5] * 100)
+        report = evaluate_sla(m, Sla(percentile=0.95, latency_ms=10))
+        assert not report.satisfied
+
+    def test_tolerates_slow_tail_within_percentile(self):
+        latencies = [0.001] * 97 + [0.5] * 3
+        m = self.make_measurements(latencies)
+        report = evaluate_sla(m, Sla(percentile=0.95, latency_ms=10,
+                                     window_s=100))
+        assert report.satisfied
+
+    def test_windows_split_correctly(self):
+        # 1 window of fast, then 1 of slow -> half the windows compliant.
+        latencies = [0.001] * 10 + [0.5] * 10
+        m = self.make_measurements(latencies, spacing=1.0)
+        report = evaluate_sla(m, Sla(percentile=0.95, latency_ms=10,
+                                     window_s=10))
+        assert report.windows == 2
+        assert report.compliant_windows == 1
+
+    def test_empty_measurements(self):
+        report = evaluate_sla(Measurements(),
+                              Sla(percentile=0.9, latency_ms=1))
+        assert not report.satisfied and report.windows == 0
+
+    def test_invalid_sla_rejected(self):
+        with pytest.raises(ValueError):
+            Sla(percentile=0.0, latency_ms=10)
+        with pytest.raises(ValueError):
+            Sla(percentile=0.5, latency_ms=-1)
+
+    def test_max_throughput_search(self):
+        def run_at(target):
+            latency = 0.001 if target <= 100 else 0.5
+            return self.make_measurements([latency] * 20)
+
+        best, reports = max_throughput_under_sla(
+            run_at, targets=[50, 100, 200, 400],
+            sla=Sla(percentile=0.95, latency_ms=10))
+        assert best == 100
+        assert len(reports) == 3  # stops at first violation
