@@ -29,17 +29,18 @@ def sweeps(bench_scale):
     return {}
 
 
-def _run(db, bench_scale, benchmark, sweeps):
+def _run(db, bench_scale, bench_runner, benchmark, sweeps):
     result = run_once(benchmark, lambda: replication_micro_sweep(
-        db, bench_scale.replication_factors, bench_scale.sweep))
+        db, bench_scale.replication_factors, bench_scale.sweep,
+        runner=bench_runner))
     sweeps[db] = result
     print()
     print(render_micro_sweep(db, result))
     return result
 
 
-def test_fig1_hbase(benchmark, bench_scale, sweeps):
-    sweep = _run("hbase", bench_scale, benchmark, sweeps)
+def test_fig1_hbase(benchmark, bench_scale, bench_runner, sweeps):
+    sweep = _run("hbase", bench_scale, bench_runner, benchmark, sweeps)
     reads = curve(sweep, "read")
     scans = curve(sweep, "scan")
     updates = curve(sweep, "update")
@@ -51,8 +52,8 @@ def test_fig1_hbase(benchmark, bench_scale, sweeps):
     assert updates[-1] - updates[0] < 1.0
 
 
-def test_fig1_cassandra(benchmark, bench_scale, sweeps):
-    sweep = _run("cassandra", bench_scale, benchmark, sweeps)
+def test_fig1_cassandra(benchmark, bench_scale, bench_runner, sweeps):
+    sweep = _run("cassandra", bench_scale, bench_runner, benchmark, sweeps)
     updates = curve(sweep, "update")
     inserts = curve(sweep, "insert")
     reads = curve(sweep, "read")

@@ -26,9 +26,10 @@ def results(bench_scale):
     return {}
 
 
-def _run(db, bench_scale, benchmark, results):
+def _run(db, bench_scale, bench_runner, benchmark, results):
     sweep = run_once(benchmark, lambda: replication_stress_sweep(
-        db, bench_scale.replication_factors, bench_scale.sweep))
+        db, bench_scale.replication_factors, bench_scale.sweep,
+        runner=bench_runner))
     results[db] = sweep
     print()
     print(render_stress_sweep(db, sweep))
@@ -43,8 +44,8 @@ def peak_curve(sweep, workload):
     return [sweep[rf][workload]["peak_throughput"] for rf in sorted(sweep)]
 
 
-def test_fig2_hbase(benchmark, bench_scale, results):
-    sweep = _run("hbase", bench_scale, benchmark, results)
+def test_fig2_hbase(benchmark, bench_scale, bench_runner, results):
+    sweep = _run("hbase", bench_scale, bench_runner, benchmark, results)
     # F5b: across workloads, the geometric-mean peak at RF=max stays
     # within 35 % of RF=1 (no systematic collapse).
     first_rf = min(sweep)
@@ -55,8 +56,8 @@ def test_fig2_hbase(benchmark, bench_scale, results):
     assert 0.65 < ratio < 1.5
 
 
-def test_fig2_cassandra(benchmark, bench_scale, results):
-    sweep = _run("cassandra", bench_scale, benchmark, results)
+def test_fig2_cassandra(benchmark, bench_scale, bench_runner, results):
+    sweep = _run("cassandra", bench_scale, bench_runner, benchmark, results)
     first_rf = min(sweep)
     last_rf = max(sweep)
     # F5c: peaks fall noticeably with RF (geometric mean across workloads).

@@ -35,9 +35,11 @@ def peaks(sweep, workload):
     return {mode: sweep[mode][workload]["peak_throughput"] for mode in sweep}
 
 
-def test_fig3_consistency_rounds(benchmark, bench_scale, sweep_result):
+def test_fig3_consistency_rounds(benchmark, bench_scale, bench_runner,
+                                 sweep_result):
     sweep = run_once(benchmark,
-                     lambda: consistency_stress_sweep(bench_scale.sweep))
+                     lambda: consistency_stress_sweep(bench_scale.sweep,
+                                                      runner=bench_runner))
     sweep_result["sweep"] = sweep
     print()
     print(render_consistency_sweep(sweep))

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import pytest
 
+from repro.core.runner import CellRunner
 from repro.core.sweep import QUICK_SCALE, SweepScale
 
 
@@ -53,6 +54,24 @@ def bench_scale() -> BenchScale:
     if name not in _SCALES:
         raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}")
     return _SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def bench_runner() -> CellRunner:
+    """Cell runner for the figure sweeps, configured by environment:
+
+    - ``REPRO_BENCH_JOBS``  — worker processes for sweep cells
+      (``0`` = one per CPU core; default ``1`` = serial).
+    - ``REPRO_BENCH_CACHE`` — ``1`` to reuse the on-disk cell cache
+      (default off: a cached sweep is not a timing measurement).
+
+    Results are bit-identical across all settings; only wall-clock
+    changes, so shape assertions hold regardless.
+    """
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    cache = os.environ.get("REPRO_BENCH_CACHE", "").lower() in ("1", "true",
+                                                                "yes")
+    return CellRunner(jobs=jobs, cache=cache)
 
 
 def run_once(benchmark, func):

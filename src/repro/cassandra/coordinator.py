@@ -53,8 +53,13 @@ def wait_for_k(env: Environment, procs: list[Process], k: int,
     """Wait until ``k`` of ``procs`` complete successfully (a process).
 
     A proc "fails" when it terminated with an Exception *value* (the RPC
-    fan-out helpers convert timeouts into values).  If completion of all
-    procs cannot reach ``k`` successes, ``failure`` is raised.
+    fan-out helpers convert timeouts into values) or when it *raised*
+    (e.g. a replica process killed mid-request).  Raised failures are
+    defused here: once ``done`` triggers early, the losing procs must not
+    crash the whole simulation through
+    :meth:`~repro.sim.kernel.Environment.step`'s unhandled-failure check.
+    If completion of all procs cannot reach ``k`` successes, ``failure``
+    is raised.
     """
     if k <= 0:
         return
@@ -65,7 +70,9 @@ def wait_for_k(env: Environment, procs: list[Process], k: int,
 
     def check(event: Event) -> None:
         state["finished"] += 1
-        if not isinstance(event.value, Exception):
+        if not event.ok:
+            event.defuse()
+        elif not isinstance(event.value, Exception):
             state["ok"] += 1
         if done.triggered:
             return
@@ -227,16 +234,20 @@ class Coordinator:
                 ReadTimeoutError(
                     f"read {cl.value} got < {blocking_digests} digests"))
 
+        # Only the CL-blocking digests may force a foreground reconcile;
+        # the beyond-CL digests exist solely because ``read_repair_chance``
+        # fired and are reconciled off the latency path even when they
+        # happen to have completed already (e.g. the coordinator-local
+        # fast path) — otherwise the chance-triggered global repair leaks
+        # into client latency and overstates the RF-driven read climb.
         data_ts = data_resp[1] if data_resp is not None else None
         digests: list[tuple[int, Optional[float]]] = []
-        async_replicas: list[int] = []
-        async_procs: list[Process] = []
-        for replica_id, proc in zip(involved[1:], digest_procs):
+        for replica_id, proc in zip(involved[1:1 + blocking_digests],
+                                    digest_procs[:blocking_digests]):
             if proc.processed and not isinstance(proc.value, Exception):
                 digests.append((replica_id, proc.value))
-            elif not proc.processed:
-                async_replicas.append(replica_id)
-                async_procs.append(proc)
+        async_replicas = list(involved[1 + blocking_digests:])
+        async_procs = digest_procs[blocking_digests:]
         if async_procs:
             from repro.cassandra.read_repair import background_reconcile
             self.env.process(

@@ -17,9 +17,11 @@ from typing import Optional, Sequence
 from repro.core.report import (
     render_consistency_sweep,
     render_micro_sweep,
+    render_progress,
     render_stress_sweep,
     render_table,
 )
+from repro.core.runner import CellRunner, default_cache_dir
 from repro.core.sweep import (
     QUICK_SCALE,
     SweepScale,
@@ -38,6 +40,20 @@ def _scale(args) -> SweepScale:
 
 def _rfs(args) -> list[int]:
     return list(range(1, args.max_rf + 1))
+
+
+def _runner(args) -> CellRunner:
+    """The figure commands' cell runner: ``--jobs``/``--no-cache`` wired
+    to :class:`CellRunner`, progress lines on stderr as cells finish."""
+    completed = [0]
+
+    def progress(event) -> None:
+        completed[0] += 1
+        print(render_progress(event, completed[0]), file=sys.stderr,
+              flush=True)
+
+    return CellRunner(jobs=args.jobs, cache=not args.no_cache,
+                      progress=progress)
 
 
 def cmd_table1(_args) -> int:
@@ -64,7 +80,8 @@ def cmd_table1(_args) -> int:
 
 def cmd_fig1(args) -> int:
     for db in args.dbs:
-        sweep = replication_micro_sweep(db, _rfs(args), _scale(args))
+        sweep = replication_micro_sweep(db, _rfs(args), _scale(args),
+                                        runner=_runner(args))
         print(render_micro_sweep(db, sweep))
         print()
     return 0
@@ -72,14 +89,15 @@ def cmd_fig1(args) -> int:
 
 def cmd_fig2(args) -> int:
     for db in args.dbs:
-        sweep = replication_stress_sweep(db, _rfs(args), _scale(args))
+        sweep = replication_stress_sweep(db, _rfs(args), _scale(args),
+                                         runner=_runner(args))
         print(render_stress_sweep(db, sweep))
         print()
     return 0
 
 
 def cmd_fig3(args) -> int:
-    sweep = consistency_stress_sweep(_scale(args))
+    sweep = consistency_stress_sweep(_scale(args), runner=_runner(args))
     print(render_consistency_sweep(sweep))
     return 0
 
@@ -103,6 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="small scale for fast runs")
         p.add_argument("--max-rf", type=int, default=6,
                        help="sweep replication factors 1..N (default 6)")
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="run sweep cells across N worker processes "
+                            "(0 = one per CPU core; default 1 = serial)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="recompute every cell instead of reusing the "
+                            f"cell cache ({default_cache_dir()})")
         if name in ("fig1", "fig2"):
             p.add_argument("--db", dest="dbs", action="append",
                            choices=["hbase", "cassandra"],

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import enum
+import json
+from dataclasses import asdict, dataclass, field, replace
 from typing import Optional
 
 from repro.cassandra.consistency import ConsistencyLevel
@@ -13,6 +15,8 @@ __all__ = [
     "CassandraConfig",
     "ExperimentConfig",
     "HBaseConfig",
+    "config_to_dict",
+    "config_to_json",
     "default_micro_config",
     "default_stress_config",
 ]
@@ -83,6 +87,33 @@ class ExperimentConfig:
             self,
             hbase=replace(self.hbase, replication=replication),
             cassandra=replace(self.cassandra, replication=replication))
+
+
+def _jsonify(value):
+    """Recursively reduce a config tree to JSON-safe primitives."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {k: _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return value
+
+
+def config_to_dict(config: ExperimentConfig) -> dict:
+    """A JSON-safe dict with every resolved knob of ``config``.
+
+    Used by the cell cache (:mod:`repro.core.runner`) as the identity of
+    a benchmark cell: two configs with equal dicts run identical
+    simulations (given equal code).
+    """
+    return _jsonify(asdict(config))
+
+
+def config_to_json(config: ExperimentConfig) -> str:
+    """Canonical (sorted-key, compact) JSON form of ``config``."""
+    return json.dumps(config_to_dict(config), sort_keys=True,
+                      separators=(",", ":"))
 
 
 def default_micro_config(db: str, micro_op: str = "read",

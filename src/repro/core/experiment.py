@@ -29,7 +29,28 @@ from repro.ycsb.client import LoadResult, RunResult, YcsbClient
 from repro.ycsb.db import CassandraBinding, DbBinding, HBaseBinding
 from repro.ycsb.workload import Workload, WorkloadSpec
 
-__all__ = ["ExperimentResult", "ExperimentSession", "run_experiment"]
+__all__ = ["ExperimentResult", "ExperimentSession", "run_experiment",
+           "summarize_run"]
+
+
+def summarize_run(result: "RunResult") -> dict:
+    """JSON-safe summary of one measured cell run.
+
+    This is the unit the sweep layer (and the parallel runner's on-disk
+    cell cache) traffics in: plain floats/ints only, so a summary
+    round-trips through ``json`` without loss and a cached cell is
+    indistinguishable from a freshly computed one.
+    """
+    overall = result.overall()
+    return {
+        "workload": result.workload,
+        "target": result.target_throughput,
+        "mean_ms": overall.mean_ms,
+        "p99_ms": overall.p99_ms,
+        "throughput": result.throughput,
+        "ops": overall.count,
+        "errors": overall.errors,
+    }
 
 
 @dataclass(frozen=True)

@@ -4,8 +4,21 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-__all__ = ["render_consistency_sweep", "render_micro_sweep", "render_series",
-           "render_stress_sweep", "render_table"]
+__all__ = ["render_consistency_sweep", "render_micro_sweep",
+           "render_progress", "render_series", "render_stress_sweep",
+           "render_table"]
+
+
+def render_progress(event, completed: Optional[int] = None) -> str:
+    """One line per finished sweep cell (a :class:`CellProgress`).
+
+    ``completed`` is the caller's running completion count; without it
+    the cell's submission index stands in (exact for serial runs, merely
+    indicative when cells finish out of order under ``--jobs``).
+    """
+    n = (event.index + 1) if completed is None else completed
+    status = "cached" if event.cached else f"{event.duration_s:.1f}s"
+    return f"[{n}/{event.total}] {event.label} ({status})"
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence],

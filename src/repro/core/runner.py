@@ -1,0 +1,332 @@
+"""Parallel execution engine for benchmark cells.
+
+The sweeps of :mod:`repro.core.sweep` iterate a (database x replication
+x workload x target) grid where each outer iteration builds its own
+:class:`~repro.core.experiment.ExperimentSession`, environment and
+seeded RNG registry — i.e. the grid is embarrassingly parallel at the
+session level.  This module makes that structure explicit:
+
+- :class:`CellSpec` — a self-describing, picklable unit of work: one
+  resolved :class:`~repro.core.config.ExperimentConfig` (which carries
+  the cell's seed), a warm-up prescription, and the *ordered* workload
+  runs to execute on the loaded session.  The order is part of the spec
+  because the paper runs its workloads back-to-back on one cluster and
+  explains later cells by the state earlier ones left behind.
+- :func:`execute_cell` — the fork-safe entrypoint: builds the session,
+  loads, warms, runs, and returns a JSON-safe payload.  Serial and
+  parallel execution share this single code path, and every cell seeds
+  its own RNG registry from its config, so an ``N``-process run is
+  bit-identical to a serial one.
+- :class:`CellRunner` — executes a batch of cells, optionally across CPU
+  cores (``ProcessPoolExecutor``) and backed by a content-addressed
+  on-disk cache keyed by the resolved config + code version, so repeated
+  benchmark invocations skip already-computed cells.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence
+
+from repro.cassandra.consistency import ConsistencyLevel
+from repro.core.config import ExperimentConfig, config_to_dict
+from repro.core.experiment import ExperimentSession, summarize_run
+from repro.ycsb.workload import MICRO_WORKLOADS, STRESS_WORKLOADS
+
+__all__ = [
+    "CellProgress",
+    "CellRunner",
+    "CellSpec",
+    "RunSpec",
+    "WarmSpec",
+    "cell_fingerprint",
+    "code_version",
+    "default_cache_dir",
+    "execute_cell",
+]
+
+#: Bump when the payload schema changes (invalidates every cached cell).
+RESULT_VERSION = "1"
+
+#: Environment override for the cell-cache directory.
+CACHE_ENV_VAR = "REPRO_CELL_CACHE"
+
+
+# -- cell specification ---------------------------------------------------
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One measured (or warm-up) workload run on a loaded session."""
+
+    #: Workload name inside the ``kind`` registry.
+    workload: str
+    #: "micro" or "stress" — which workload registry to resolve from.
+    kind: str = "stress"
+    operation_count: Optional[int] = None
+    #: Offered load cap, ops/s (None = unthrottled full speed).
+    target_throughput: Optional[float] = None
+    #: Consistency-level overrides, by value ("ONE", "QUORUM", ...), so
+    #: the spec stays trivially picklable and JSON-describable.
+    read_cl: Optional[str] = None
+    write_cl: Optional[str] = None
+    #: Unmeasured runs execute (they move the cluster's state — e.g. the
+    #: ablation's interleaved updates) but produce no summary.
+    measured: bool = True
+
+
+@dataclass(frozen=True)
+class WarmSpec:
+    """Cache warm-up before the measured runs (paper §6 countermeasure)."""
+
+    #: ``None`` keeps the session default (a read-heavy stress mix).
+    workload: Optional[str] = None
+    kind: str = "micro"
+    operations: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Config + seed + workload sequence: one independent sweep cell."""
+
+    #: Result-dict key the caller assembles under (rf, mode name, ...).
+    key: Any
+    #: Human-readable progress label, e.g. ``"fig2/cassandra/rf=3"``.
+    label: str
+    config: ExperimentConfig
+    runs: tuple[RunSpec, ...]
+    warm: Optional[WarmSpec] = WarmSpec(kind="stress")
+    #: Include engine-internal counters in the payload (ablations).
+    collect_db_stats: bool = False
+
+
+@dataclass(frozen=True)
+class CellProgress:
+    """One completed cell, as reported to the progress callback."""
+
+    index: int
+    total: int
+    label: str
+    cached: bool
+    duration_s: float
+
+
+# -- execution (the fork-safe entrypoint) ---------------------------------
+
+def _resolve_workload(kind: str, name: str):
+    registry = MICRO_WORKLOADS if kind == "micro" else STRESS_WORKLOADS
+    if name not in registry:
+        raise ValueError(f"unknown {kind} workload {name!r}; "
+                         f"choose from {sorted(registry)}")
+    return registry[name]
+
+
+def execute_cell(spec: CellSpec) -> dict:
+    """Run one cell start to finish; returns a JSON-safe payload.
+
+    This is the single execution path for serial and parallel sweeps:
+    the session derives every RNG stream from ``spec.config.seed``, so
+    the payload is bit-identical no matter which process runs it.
+    """
+    session = ExperimentSession(spec.config)
+    session.load()
+    if spec.warm is not None:
+        workload = (_resolve_workload(spec.warm.kind, spec.warm.workload)
+                    if spec.warm.workload else None)
+        session.warm(operations=spec.warm.operations, workload=workload)
+    runs = []
+    for run in spec.runs:
+        result = session.run_cell(
+            workload=_resolve_workload(run.kind, run.workload),
+            operation_count=run.operation_count,
+            target_throughput=run.target_throughput,
+            read_cl=ConsistencyLevel(run.read_cl) if run.read_cl else None,
+            write_cl=ConsistencyLevel(run.write_cl) if run.write_cl else None)
+        if run.measured:
+            runs.append(summarize_run(result))
+    payload: dict = {"runs": runs}
+    if spec.collect_db_stats:
+        payload["db_stats"] = session.db_stats()
+    return payload
+
+
+def _execute_cell_timed(spec: CellSpec) -> tuple[dict, float]:
+    started = time.perf_counter()
+    payload = execute_cell(spec)
+    return payload, time.perf_counter() - started
+
+
+# -- content-addressed cell cache -----------------------------------------
+
+_code_version: Optional[str] = None
+
+
+def code_version() -> str:
+    """Hash of the ``repro`` package sources (cached per process).
+
+    Part of every cell fingerprint so a cached result can never outlive
+    the code that produced it.
+    """
+    global _code_version
+    if _code_version is None:
+        package_root = Path(__file__).resolve().parents[1]
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(path.relative_to(package_root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _code_version = digest.hexdigest()[:16]
+    return _code_version
+
+
+def cell_fingerprint(spec: CellSpec) -> str:
+    """Content address of a cell: resolved config + runs + code version.
+
+    ``key`` and ``label`` are presentation, not identity — two sweeps
+    asking for the same physical cell share one cache entry.
+    """
+    identity = {
+        "config": config_to_dict(spec.config),
+        "runs": [asdict(run) for run in spec.runs],
+        "warm": asdict(spec.warm) if spec.warm is not None else None,
+        "collect_db_stats": spec.collect_db_stats,
+        "result_version": RESULT_VERSION,
+        "code": code_version(),
+    }
+    canonical = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """Cell-cache root: ``$REPRO_CELL_CACHE`` or ``~/.cache/repro/cells``."""
+    override = os.environ.get(CACHE_ENV_VAR)
+    if override:
+        return Path(override).expanduser()
+    return Path("~/.cache/repro/cells").expanduser()
+
+
+class CellCache:
+    """One JSON file per cell fingerprint, written atomically."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+
+    def path(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> Optional[dict]:
+        try:
+            with open(self.path(fingerprint), encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            return None  # missing or corrupt: recompute
+        payload = entry.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, fingerprint: str, label: str, payload: dict) -> None:
+        # Best-effort: an unwritable cache location must never abort a
+        # sweep whose cell already computed — the result is still
+        # returned, it just won't be reused.
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            entry = {"label": label, "payload": payload}
+            tmp = self.root / f".{fingerprint}.{os.getpid()}.tmp"
+            tmp.write_text(json.dumps(entry, sort_keys=True),
+                           encoding="utf-8")
+            os.replace(tmp, self.path(fingerprint))
+        except OSError:
+            pass
+
+
+# -- the runner ------------------------------------------------------------
+
+def _pool_context():
+    # fork keeps the warm interpreter (and is what the seed-derivation
+    # guarantees assume nothing about); fall back to the platform default
+    # where fork does not exist.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+class CellRunner:
+    """Executes cell specs serially or across CPU cores, with caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default) executes in-process;
+        ``None`` or ``0`` means one per CPU core.
+    cache:
+        Reuse / populate the on-disk cell cache.  Off by default so
+        library callers (tests, notebooks) always compute fresh; the CLI
+        and the benchmark drivers turn it on.
+    cache_dir:
+        Cache root; defaults to :func:`default_cache_dir`.
+    progress:
+        Called with a :class:`CellProgress` after each cell completes
+        (cache hits report immediately with ``cached=True``).
+    """
+
+    def __init__(self, jobs: int = 1, cache: bool = False,
+                 cache_dir: Optional[Path] = None,
+                 progress: Optional[Callable[[CellProgress], None]] = None
+                 ) -> None:
+        if jobs is None or jobs < 1:
+            jobs = os.cpu_count() or 1
+        self.jobs = jobs
+        self.cache = CellCache(cache_dir or default_cache_dir()) \
+            if cache else None
+        self.progress = progress
+
+    def _emit(self, index: int, total: int, spec: CellSpec, cached: bool,
+              duration_s: float) -> None:
+        if self.progress is not None:
+            self.progress(CellProgress(index=index, total=total,
+                                       label=spec.label, cached=cached,
+                                       duration_s=duration_s))
+
+    def run(self, cells: Sequence[CellSpec]) -> list[dict]:
+        """Execute ``cells``; returns their payloads in input order."""
+        total = len(cells)
+        payloads: list[Optional[dict]] = [None] * total
+        fingerprints: list[Optional[str]] = [None] * total
+        pending: list[int] = []
+        for index, spec in enumerate(cells):
+            if self.cache is not None:
+                fingerprints[index] = cell_fingerprint(spec)
+                hit = self.cache.get(fingerprints[index])
+                if hit is not None:
+                    payloads[index] = hit
+                    self._emit(index, total, spec, cached=True,
+                               duration_s=0.0)
+                    continue
+            pending.append(index)
+
+        def finish(index: int, payload: dict, elapsed: float) -> None:
+            payloads[index] = payload
+            if self.cache is not None:
+                self.cache.put(fingerprints[index], cells[index].label,
+                               payload)
+            self._emit(index, total, cells[index], cached=False,
+                       duration_s=elapsed)
+
+        if self.jobs > 1 and len(pending) > 1:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers,
+                                     mp_context=_pool_context()) as pool:
+                futures = {pool.submit(_execute_cell_timed, cells[i]): i
+                           for i in pending}
+                for future in as_completed(futures):
+                    payload, elapsed = future.result()
+                    finish(futures[future], payload, elapsed)
+        else:
+            for index in pending:
+                payload, elapsed = _execute_cell_timed(cells[index])
+                finish(index, payload, elapsed)
+        return payloads  # type: ignore[return-value]

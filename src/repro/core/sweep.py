@@ -2,6 +2,19 @@
 
 Every sweep returns plain nested dicts so benchmarks can both print
 paper-style tables (:mod:`repro.core.report`) and assert on shapes.
+
+Each sweep is expressed in two halves:
+
+- a *cell builder* that turns the requested grid into
+  :class:`~repro.core.runner.CellSpec` values — one per independent
+  ``ExperimentSession`` (one replication factor, or one consistency
+  mode), carrying its ordered workload sequence; and
+- an *assembler* that projects the runner's JSON-safe payloads back
+  into the legacy nested-dict shape.
+
+Execution goes through a :class:`~repro.core.runner.CellRunner`, so the
+same sweep can run serially (the default), across CPU cores, or out of
+the on-disk cell cache — all bit-identical by construction.
 """
 
 from __future__ import annotations
@@ -13,9 +26,8 @@ from repro.cassandra.consistency import ConsistencyLevel
 from repro.core.config import (default_micro_config,
                                default_stress_config,
                                scaled_stress_storage)
-from repro.core.experiment import ExperimentSession
+from repro.core.runner import CellRunner, CellSpec, RunSpec, WarmSpec
 from repro.storage.lsm import StorageSpec
-from repro.ycsb.workload import MICRO_WORKLOADS, STRESS_WORKLOADS
 
 __all__ = [
     "CONSISTENCY_MODES",
@@ -69,26 +81,21 @@ QUICK_SCALE = SweepScale(record_count=5_000, operation_count=1_200,
                          n_threads=12, n_nodes=8,
                          targets=(2_000.0, 8_000.0, None))
 
-
-def _micro_summary(result) -> dict:
-    overall = result.overall()
-    return {
-        "mean_ms": overall.mean_ms,
-        "p99_ms": overall.p99_ms,
-        "throughput": result.throughput,
-        "ops": overall.count,
-        "errors": overall.errors,
-    }
+#: The projection of a run summary the micro sweep reports per op.
+_MICRO_KEYS = ("mean_ms", "p99_ms", "throughput", "ops", "errors")
 
 
-def replication_micro_sweep(db: str, replication_factors: Sequence[int],
-                            scale: Optional[SweepScale] = None) -> dict:
-    """Figure 1: atomic-operation latency vs replication factor.
+def _run(cells: Sequence[CellSpec],
+         runner: Optional[CellRunner]) -> list[dict]:
+    return (runner or CellRunner()).run(cells)
 
-    Returns ``{rf: {op: {"mean_ms": ..., "p99_ms": ..., ...}}}``.
-    """
-    scale = scale or SweepScale()
-    out: dict = {}
+
+# -- Figure 1: micro benchmark vs replication ------------------------------
+
+def micro_sweep_cells(db: str, replication_factors: Sequence[int],
+                      scale: SweepScale) -> list[CellSpec]:
+    """One cell per replication factor, each running §4.1's op order."""
+    cells = []
     for rf in replication_factors:
         config = default_micro_config(db, "update", replication=rf,
                                       seed=scale.seed)
@@ -98,21 +105,64 @@ def replication_micro_sweep(db: str, replication_factors: Sequence[int],
                          n_nodes=scale.n_nodes)
         if scale.storage is not None:
             config = replace(config, storage=scale.storage)
-        session = ExperimentSession(config)
-        session.load()
-        session.warm(operations=scale.operation_count // 2,
-                     workload=MICRO_WORKLOADS["read"])
-        per_op: dict = {}
-        for op in MICRO_OP_ORDER:
-            result = session.run_cell(workload=MICRO_WORKLOADS[op])
-            per_op[op] = _micro_summary(result)
-        out[rf] = per_op
+        cells.append(CellSpec(
+            key=rf,
+            label=f"fig1/{db}/rf={rf}",
+            config=config,
+            runs=tuple(RunSpec(workload=op, kind="micro")
+                       for op in MICRO_OP_ORDER),
+            warm=WarmSpec(workload="read", kind="micro",
+                          operations=scale.operation_count // 2)))
+    return cells
+
+
+def replication_micro_sweep(db: str, replication_factors: Sequence[int],
+                            scale: Optional[SweepScale] = None,
+                            runner: Optional[CellRunner] = None) -> dict:
+    """Figure 1: atomic-operation latency vs replication factor.
+
+    Returns ``{rf: {op: {"mean_ms": ..., "p99_ms": ..., ...}}}``.
+    """
+    scale = scale or SweepScale()
+    cells = micro_sweep_cells(db, replication_factors, scale)
+    out: dict = {}
+    for cell, payload in zip(cells, _run(cells, runner)):
+        out[cell.key] = {
+            op: {key: summary[key] for key in _MICRO_KEYS}
+            for op, summary in zip(MICRO_OP_ORDER, payload["runs"])}
     return out
+
+
+# -- Figure 2: stress benchmark vs replication ------------------------------
+
+def stress_sweep_cells(db: str, replication_factors: Sequence[int],
+                       scale: SweepScale,
+                       workloads: Sequence[str]) -> list[CellSpec]:
+    """One cell per replication factor; each runs every workload in the
+    paper's order, sweeping the offered target inside each workload."""
+    cells = []
+    for rf in replication_factors:
+        config = default_stress_config(db, "read_mostly", replication=rf,
+                                       seed=scale.seed)
+        config = replace(config, record_count=scale.record_count,
+                         operation_count=scale.operation_count,
+                         n_threads=scale.n_threads, n_nodes=scale.n_nodes,
+                         storage=scale.storage or scaled_stress_storage(
+                             scale.record_count, 1000, scale.n_nodes - 1))
+        cells.append(CellSpec(
+            key=rf,
+            label=f"fig2/{db}/rf={rf}",
+            config=config,
+            runs=tuple(RunSpec(workload=name, target_throughput=target)
+                       for name in workloads for target in scale.targets),
+            warm=WarmSpec()))
+    return cells
 
 
 def replication_stress_sweep(db: str, replication_factors: Sequence[int],
                              scale: Optional[SweepScale] = None,
-                             workloads: Sequence[str] = STRESS_WORKLOAD_ORDER) -> dict:
+                             workloads: Sequence[str] = STRESS_WORKLOAD_ORDER,
+                             runner: Optional[CellRunner] = None) -> dict:
     """Figure 2: peak runtime throughput + latency vs replication factor.
 
     For each (rf, workload) the offered target throughput is swept and the
@@ -123,52 +173,33 @@ def replication_stress_sweep(db: str, replication_factors: Sequence[int],
     "per_target": [(target, runtime, mean_ms), ...]}}}``.
     """
     scale = scale or SweepScale()
+    cells = stress_sweep_cells(db, replication_factors, scale, workloads)
     out: dict = {}
-    for rf in replication_factors:
-        config = default_stress_config(db, "read_mostly", replication=rf,
-                                       seed=scale.seed)
-        config = replace(config, record_count=scale.record_count,
-                         operation_count=scale.operation_count,
-                         n_threads=scale.n_threads, n_nodes=scale.n_nodes,
-                         storage=scale.storage or scaled_stress_storage(
-                             scale.record_count, 1000, scale.n_nodes - 1))
-        session = ExperimentSession(config)
-        session.load()
-        session.warm()
+    for cell, payload in zip(cells, _run(cells, runner)):
+        summaries = iter(payload["runs"])
         per_workload: dict = {}
         for name in workloads:
-            per_target = []
-            for target in scale.targets:
-                result = session.run_cell(
-                    workload=STRESS_WORKLOADS[name],
-                    target_throughput=target)
-                per_target.append((target, result.throughput,
-                                   result.overall().mean_ms))
+            per_target = [(target, summary["throughput"],
+                           summary["mean_ms"])
+                          for target in scale.targets
+                          for summary in (next(summaries),)]
             peak = max(per_target, key=lambda row: row[1])
             per_workload[name] = {
                 "peak_throughput": peak[1],
                 "latency_ms": peak[2],
                 "per_target": per_target,
             }
-        out[rf] = per_workload
+        out[cell.key] = per_workload
     return out
 
 
-def consistency_stress_sweep(scale: Optional[SweepScale] = None,
-                             workloads: Sequence[str] = STRESS_WORKLOAD_ORDER,
-                             replication: int = 3,
-                             modes: Optional[dict] = None) -> dict:
-    """Figure 3: Cassandra runtime vs target throughput per consistency level.
+# -- Figure 3: stress benchmark vs consistency ------------------------------
 
-    Three rounds (ONE, QUORUM, write-ALL) at replication factor 3; each
-    round runs the five stress workloads in the paper's order.
-
-    Returns ``{mode: {workload: {"series": [(target, runtime), ...],
-    "peak_throughput": ...}}}``.
-    """
-    scale = scale or SweepScale()
-    modes = modes if modes is not None else CONSISTENCY_MODES
-    out: dict = {}
+def consistency_sweep_cells(scale: SweepScale, workloads: Sequence[str],
+                            replication: int,
+                            modes: dict) -> list[CellSpec]:
+    """One cell per consistency mode, all at the same replication."""
+    cells = []
     for mode, (read_cl, write_cl) in modes.items():
         config = default_stress_config("cassandra", "read_mostly",
                                        replication=replication,
@@ -182,21 +213,45 @@ def consistency_stress_sweep(scale: Optional[SweepScale] = None,
                          storage=scale.storage or scaled_stress_storage(
                              scale.record_count, 1000, scale.n_nodes - 1,
                              cache_units=8.0))
-        session = ExperimentSession(config)
-        session.load()
-        session.warm()
+        cells.append(CellSpec(
+            key=mode,
+            label=f"fig3/cassandra/{mode}",
+            config=config,
+            runs=tuple(RunSpec(workload=name, target_throughput=target,
+                               read_cl=read_cl.value,
+                               write_cl=write_cl.value)
+                       for name in workloads for target in scale.targets),
+            warm=WarmSpec()))
+    return cells
+
+
+def consistency_stress_sweep(scale: Optional[SweepScale] = None,
+                             workloads: Sequence[str] = STRESS_WORKLOAD_ORDER,
+                             replication: int = 3,
+                             modes: Optional[dict] = None,
+                             runner: Optional[CellRunner] = None) -> dict:
+    """Figure 3: Cassandra runtime vs target throughput per consistency level.
+
+    Three rounds (ONE, QUORUM, write-ALL) at replication factor 3; each
+    round runs the five stress workloads in the paper's order.
+
+    Returns ``{mode: {workload: {"series": [(target, runtime), ...],
+    "peak_throughput": ...}}}``.
+    """
+    scale = scale or SweepScale()
+    modes = modes if modes is not None else CONSISTENCY_MODES
+    cells = consistency_sweep_cells(scale, workloads, replication, modes)
+    out: dict = {}
+    for cell, payload in zip(cells, _run(cells, runner)):
+        summaries = iter(payload["runs"])
         per_workload: dict = {}
         for name in workloads:
-            series = []
-            for target in scale.targets:
-                result = session.run_cell(
-                    workload=STRESS_WORKLOADS[name],
-                    target_throughput=target,
-                    read_cl=read_cl, write_cl=write_cl)
-                series.append((target, result.throughput))
+            series = [(target, summary["throughput"])
+                      for target in scale.targets
+                      for summary in (next(summaries),)]
             per_workload[name] = {
                 "series": series,
                 "peak_throughput": max(r for _, r in series),
             }
-        out[mode] = per_workload
+        out[cell.key] = per_workload
     return out

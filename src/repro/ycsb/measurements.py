@@ -7,6 +7,7 @@ YCSB reports: mean, min, max, and the 50th/95th/99th percentiles.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -40,11 +41,18 @@ class LatencyStats:
 
 
 def percentile(sorted_values: list[float], fraction: float) -> float:
-    """Nearest-rank percentile over pre-sorted samples."""
+    """Nearest-rank percentile over pre-sorted samples.
+
+    Standard nearest-rank definition: the smallest value with at least
+    ``fraction`` of the samples at or below it, i.e. index
+    ``ceil(fraction * n) - 1``.  (An earlier ``round(fraction * (n - 1))``
+    variant used banker's rounding and misranked small samples — e.g. the
+    median of 4 samples came out as the third one.)
+    """
     if not sorted_values:
         return 0.0
     rank = max(0, min(len(sorted_values) - 1,
-                      int(round(fraction * (len(sorted_values) - 1)))))
+                      math.ceil(fraction * len(sorted_values)) - 1))
     return sorted_values[rank]
 
 

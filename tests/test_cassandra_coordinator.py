@@ -4,7 +4,8 @@ import pytest
 
 from repro.cassandra.client import CassandraSession
 from repro.cassandra.consistency import ConsistencyLevel, UnavailableError
-from repro.cassandra.coordinator import ReadTimeoutError, wait_for_k
+from repro.cassandra.coordinator import (ReadTimeoutError, WriteTimeoutError,
+                                         wait_for_k)
 from repro.cassandra.deployment import CassandraCluster, CassandraSpec
 from repro.cluster.topology import Cluster, ClusterSpec
 from repro.keyspace import key_for_index
@@ -87,6 +88,73 @@ class TestWaitForK:
 
         assert drive(env, waiter()) == 1.0
 
+    def make_raising_proc(self, env, delay):
+        def body():
+            yield env.timeout(delay)
+            raise RuntimeError("replica process died")
+
+        return env.process(body())
+
+    def test_raised_failure_after_done_is_defused(self, env):
+        # The losing proc fails AFTER done triggered early; its failure
+        # must not crash the simulation via step()'s unhandled check.
+        procs = [self.make_proc(env, 1.0), self.make_raising_proc(env, 2.0)]
+
+        def waiter():
+            yield from wait_for_k(env, procs, 1, RuntimeError("nope"))
+            return env.now
+
+        proc = env.process(waiter())
+        assert env.run(until=proc) == 1.0
+        env.run()  # drain the loser's failure
+
+    def test_raised_failure_before_done_not_counted(self, env):
+        procs = [self.make_raising_proc(env, 1.0), self.make_proc(env, 2.0)]
+
+        def waiter():
+            yield from wait_for_k(env, procs, 1, RuntimeError("nope"))
+            return env.now
+
+        proc = env.process(waiter())
+        assert env.run(until=proc) == 2.0
+        env.run()
+
+    def test_all_raised_failures_raise_the_given_failure(self, env):
+        procs = [self.make_raising_proc(env, 1.0),
+                 self.make_raising_proc(env, 2.0)]
+
+        def waiter():
+            try:
+                yield from wait_for_k(env, procs, 1,
+                                      WriteTimeoutError("no acks"))
+            except WriteTimeoutError:
+                return "timed out"
+
+        proc = env.process(waiter())
+        assert env.run(until=proc) == "timed out"
+        env.run()
+
+    def test_killed_replica_mid_write_does_not_crash(self, env):
+        # Kernel-level version of "kill a replica mid-write": the write
+        # already has its CL ack when another replica's ack process is
+        # interrupted (the node crashed); the interrupt surfaces as a
+        # raised failure in the losing proc.
+        acks = [self.make_proc(env, 1.0), self.make_proc(env, 4.0)]
+
+        def kill_replica():
+            yield env.timeout(2.0)
+            acks[1].interrupt("node crashed")
+
+        env.process(kill_replica())
+
+        def coordinator():
+            yield from wait_for_k(env, acks, 1, WriteTimeoutError("no acks"))
+            return env.now
+
+        proc = env.process(coordinator())
+        assert env.run(until=proc) == 1.0
+        env.run()  # the killed ack resolves as a failure; must be defused
+
 
 class TestCoordinatorEdgeCases:
     def build(self, **kwargs):
@@ -150,6 +218,29 @@ class TestCoordinatorEdgeCases:
         scanned, main = drive(env, scenario())
         assert scanned == [main]
 
+    def test_write_survives_replica_crash_mid_write(self):
+        """A replica process that dies (raises) mid-write must not crash
+        the simulation once the CL ack already satisfied the client."""
+        env, cluster, cassandra, session = self.build()
+        key = key_for_index(3)
+        coordinator_id = cassandra.server_nodes[0].node_id  # first RR pick
+        victim_id = [r for r in cassandra.replicas_of(key)
+                     if r != coordinator_id][-1]
+        victim = cassandra.nodes[victim_id].node
+
+        def crashing_mutate(payload):
+            yield env.timeout(0.005)
+            raise RuntimeError("replica killed mid-write")
+
+        victim.handlers["c.mutate"] = crashing_mutate
+
+        def scenario():
+            result = yield from session.insert(key, "value", 100)
+            return result
+
+        assert drive(env, scenario()) is True
+        env.run(until=env.now + 5.0)  # drain in-flight replica procs
+
     def test_coordinator_stats_accumulate(self):
         env, _, cassandra, session = self.build()
 
@@ -163,3 +254,82 @@ class TestCoordinatorEdgeCases:
         stats = cassandra.total_stats()
         assert stats["writes"] == 20
         assert stats["reads"] == 20
+
+
+class TestReadRepairLatencyPath:
+    """Cassandra 2.0 semantics: only CL-blocking digests may reconcile in
+    the foreground; chance-triggered beyond-CL digests repair async."""
+
+    def build(self, **kwargs):
+        env = Environment()
+        cluster = Cluster(env, ClusterSpec(n_nodes=5), RngRegistry(77))
+        cassandra = CassandraCluster(cluster, CassandraSpec(
+            replication=3, **kwargs))
+        session = CassandraSession(cassandra, cassandra.client_node)
+        return env, cluster, cassandra, session
+
+    def diverge(self, env, cassandra, session, key):
+        """Write everywhere, then give one digest replica a newer version.
+
+        The divergent replica is ``replicas[1]`` — at CL ONE a beyond-CL
+        digest target, at QUORUM the CL-blocking digest — and its own
+        coordinator is used so the divergent digest is the local fast
+        path (processed before the remote data read returns, which is
+        exactly the case the old code mishandled).
+        """
+        def setup():
+            yield from session.insert(key, "v0", 100,
+                                      cl=ConsistencyLevel.ALL)
+            yield env.timeout(1.0)
+            replicas = cassandra.replicas_of(key)
+            owner = cassandra.nodes[replicas[1]]
+            yield from owner.local_mutate(key, "v1", 100, env.now)
+            return owner
+
+        return drive(env, setup())
+
+    def test_beyond_cl_mismatch_repairs_in_background(self):
+        env, _, cassandra, session = self.build(read_repair_chance=1.0)
+        key = key_for_index(0)
+        owner = self.diverge(env, cassandra, session, key)
+        coordinator = owner.coordinator
+
+        def read():
+            result = yield from coordinator.handle_read(
+                (key, ConsistencyLevel.ONE.value, 100))
+            return result
+
+        value, _ts = drive(env, read())
+        # The response is the data replica's (older) version: the
+        # divergent digest is beyond the CL and must not block.
+        assert value == "v0"
+        assert coordinator.stats["read_repairs"] == 0
+        # ...but the mismatch is reconciled asynchronously.
+        env.run(until=env.now + 5.0)
+        assert coordinator.stats["background_repairs"] == 1
+        assert coordinator.stats["repair_mutations"] >= 1
+
+        def read_after_repair():
+            result = yield from coordinator.handle_read(
+                (key, ConsistencyLevel.ONE.value, 100))
+            return result
+
+        value, _ts = drive(env, read_after_repair())
+        assert value == "v1"
+
+    def test_cl_blocking_mismatch_still_reconciles_foreground(self):
+        env, _, cassandra, session = self.build(read_repair_chance=0.0)
+        key = key_for_index(0)
+        owner = self.diverge(env, cassandra, session, key)
+        coordinator = owner.coordinator
+
+        def read():
+            result = yield from coordinator.handle_read(
+                (key, ConsistencyLevel.QUORUM.value, 100))
+            return result
+
+        value, _ts = drive(env, read())
+        # QUORUM blocks on replicas[1]'s digest; the mismatch pays the
+        # foreground reconcile and the client sees the newest version.
+        assert value == "v1"
+        assert coordinator.stats["read_repairs"] == 1

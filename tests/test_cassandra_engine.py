@@ -199,6 +199,9 @@ class TestReadRepair:
         assert len(timestamps) == 1  # all replicas converged
 
     def test_repair_counters_increment(self):
+        # At CL ONE the chance-triggered digests are beyond the CL, so
+        # the mismatch repairs in the background (Cassandra 2.0: only a
+        # CL-blocking digest mismatch reconciles in the foreground).
         env, cluster, cassandra, session = build(read_repair_chance=1.0)
 
         def scenario():
@@ -209,8 +212,33 @@ class TestReadRepair:
             main = cassandra.nodes[replicas[0]]
             yield env.process(main.local_mutate(key, "v2", 100, env.now))
             yield from session.read(key, 100)
+            yield env.timeout(2)  # background reconcile completes
 
         drive(env, scenario())
+        stats = cassandra.total_stats()
+        assert stats["background_repairs"] >= 1
+        assert stats["repair_mutations"] >= 1
+
+    def test_foreground_repair_counter_at_quorum(self):
+        # A mismatch within the CL-blocking digest set pays the
+        # foreground reconcile — QUORUM's price for recent writes.
+        env, cluster, cassandra, session = build(read_repair_chance=0.0)
+
+        def scenario():
+            key = key_for_index(4)
+            replicas = cassandra.replicas_of(key)
+            yield from session.insert(key, "v1", 100,
+                                      cl=ConsistencyLevel.ALL)
+            yield env.timeout(1)
+            blocking = cassandra.nodes[replicas[1]]
+            yield env.process(blocking.local_mutate(key, "v2", 100,
+                                                    env.now))
+            result = yield from session.read(key, 100,
+                                             cl=ConsistencyLevel.QUORUM)
+            return result
+
+        result = drive(env, scenario())
+        assert result[0] == "v2"
         stats = cassandra.total_stats()
         assert stats["read_repairs"] >= 1
         assert stats["repair_mutations"] >= 1

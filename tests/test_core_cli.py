@@ -21,6 +21,17 @@ class TestParser:
         args = build_parser().parse_args(["fig1", "--db", "hbase"])
         assert args.dbs == ["hbase"]
 
+    def test_jobs_and_cache_flags(self):
+        args = build_parser().parse_args(["fig2", "--jobs", "4",
+                                          "--no-cache"])
+        assert args.jobs == 4
+        assert args.no_cache is True
+
+    def test_jobs_default_serial_cache_on(self):
+        args = build_parser().parse_args(["fig3", "--quick"])
+        assert args.jobs == 1
+        assert args.no_cache is False
+
     def test_invalid_db_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig1", "--db", "mongodb"])
@@ -37,3 +48,20 @@ class TestCommands:
         assert "read_mostly" in out
         assert "scan_short_ranges" in out
         assert "Zipfian" in out or "zipfian" in out
+
+    def test_fig1_end_to_end_jobs_and_cache(self, tmp_path, monkeypatch,
+                                            capsys):
+        monkeypatch.setenv("REPRO_CELL_CACHE", str(tmp_path))
+        argv = ["fig1", "--quick", "--max-rf", "1", "--db", "hbase",
+                "--jobs", "2"]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "Fig.1 (hbase)" in first.out
+        assert "[1/1] fig1/hbase/rf=1" in first.err
+        # Second invocation reuses the cell cache and prints the same
+        # table (progress marks the cell as cached).
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "cached" in second.err
+        assert len(list(tmp_path.glob("*.json"))) == 1

@@ -1,0 +1,193 @@
+"""Tests for the parallel sweep runner and its cell cache."""
+
+import json
+import os
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import (config_to_dict, config_to_json,
+                               default_micro_config, default_stress_config)
+from repro.core.runner import (CellRunner, CellSpec, RunSpec, WarmSpec,
+                               cell_fingerprint, code_version, execute_cell)
+from repro.core.sweep import (QUICK_SCALE, consistency_stress_sweep,
+                              replication_micro_sweep,
+                              replication_stress_sweep)
+
+#: Trimmed further below QUICK_SCALE so the always-on equivalence tests
+#: stay cheap; the full --quick scale runs in the opt-in speedup test.
+TINY_SCALE = replace(QUICK_SCALE, record_count=1_500, operation_count=300,
+                     targets=(500.0, None))
+
+
+def small_cell(seed=42, workloads=("read",)):
+    config = default_micro_config("cassandra", "read", seed=seed)
+    config = replace(config, record_count=400, operation_count=120,
+                     n_nodes=5, n_threads=4)
+    return CellSpec(key=seed, label=f"cell/seed={seed}", config=config,
+                    runs=tuple(RunSpec(workload=w, kind="micro")
+                               for w in workloads),
+                    warm=WarmSpec(workload="read", kind="micro",
+                                  operations=60))
+
+
+class TestConfigSerialization:
+    def test_config_to_dict_is_json_safe(self):
+        config = default_stress_config("cassandra")
+        json.dumps(config_to_dict(config))  # must not raise
+
+    def test_enums_become_values(self):
+        config = default_stress_config("cassandra")
+        as_dict = config_to_dict(config)
+        assert as_dict["cassandra"]["read_cl"] == "ONE"
+
+    def test_replication_reflected(self):
+        config = default_stress_config("hbase")
+        d1 = config_to_dict(config)
+        d3 = config_to_dict(config.with_replication(5))
+        assert d1 != d3
+        assert d3["hbase"]["replication"] == 5
+
+    def test_canonical_json_is_stable(self):
+        config = default_micro_config("hbase")
+        assert config_to_json(config) == config_to_json(config)
+        assert config_to_json(config).count("\n") == 0
+
+
+class TestFingerprint:
+    def test_key_and_label_are_not_identity(self):
+        a = small_cell()
+        b = replace(a, key="other", label="renamed")
+        assert cell_fingerprint(a) == cell_fingerprint(b)
+
+    def test_seed_changes_fingerprint(self):
+        assert (cell_fingerprint(small_cell(seed=1))
+                != cell_fingerprint(small_cell(seed=2)))
+
+    def test_run_sequence_changes_fingerprint(self):
+        assert (cell_fingerprint(small_cell(workloads=("read",)))
+                != cell_fingerprint(small_cell(workloads=("read", "update"))))
+
+    def test_code_version_is_stable_hex(self):
+        assert code_version() == code_version()
+        int(code_version(), 16)  # hex digest prefix
+
+
+class TestExecuteCell:
+    def test_payload_shape(self):
+        payload = execute_cell(small_cell(workloads=("read", "update")))
+        assert [r["workload"] for r in payload["runs"]] == ["micro_read",
+                                                            "micro_update"]
+        for summary in payload["runs"]:
+            assert summary["ops"] > 0
+            assert summary["mean_ms"] > 0
+        # JSON-safe by construction (the cache stores it verbatim).
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_unknown_workload_rejected(self):
+        cell = small_cell()
+        bad = replace(cell, runs=(RunSpec(workload="nope", kind="micro"),))
+        with pytest.raises(ValueError, match="nope"):
+            execute_cell(bad)
+
+    def test_db_stats_collected_on_request(self):
+        payload = execute_cell(replace(small_cell(), collect_db_stats=True))
+        assert payload["db_stats"]["rpc_count"] > 0
+
+
+class TestSerialParallelEquivalence:
+    """The tentpole guarantee: N processes, bit-identical results."""
+
+    def test_fig2_parallel_equals_serial(self):
+        serial = replication_stress_sweep("cassandra", [1, 2], TINY_SCALE)
+        par = replication_stress_sweep("cassandra", [1, 2], TINY_SCALE,
+                                       runner=CellRunner(jobs=4))
+        assert serial == par
+        assert (json.dumps(serial, sort_keys=True, default=repr)
+                == json.dumps(par, sort_keys=True, default=repr))
+
+    def test_fig1_and_fig3_parallel_equal_serial(self):
+        scale = replace(TINY_SCALE, record_count=800, operation_count=200)
+        assert (replication_micro_sweep("hbase", [1, 2], scale)
+                == replication_micro_sweep("hbase", [1, 2], scale,
+                                           runner=CellRunner(jobs=2)))
+        assert (consistency_stress_sweep(scale)
+                == consistency_stress_sweep(scale,
+                                            runner=CellRunner(jobs=3)))
+
+    @pytest.mark.skipif(os.cpu_count() < 4,
+                        reason="speedup needs >= 4 CPU cores")
+    def test_quick_fig2_jobs4_identical_and_faster(self):
+        started = time.perf_counter()
+        serial = replication_stress_sweep("cassandra", [1, 3, 6],
+                                          QUICK_SCALE)
+        serial_s = time.perf_counter() - started
+        started = time.perf_counter()
+        par = replication_stress_sweep("cassandra", [1, 3, 6], QUICK_SCALE,
+                                       runner=CellRunner(jobs=4))
+        parallel_s = time.perf_counter() - started
+        assert serial == par
+        assert serial_s / parallel_s >= 1.5
+
+
+class TestCellCache:
+    def test_second_run_hits_cache(self, tmp_path):
+        events = []
+        runner = CellRunner(cache=True, cache_dir=tmp_path,
+                            progress=events.append)
+        started = time.perf_counter()
+        cold = replication_stress_sweep("cassandra", [1, 2], TINY_SCALE,
+                                        runner=runner)
+        cold_s = time.perf_counter() - started
+        assert [e.cached for e in events] == [False, False]
+
+        events.clear()
+        runner = CellRunner(cache=True, cache_dir=tmp_path,
+                            progress=events.append)
+        started = time.perf_counter()
+        warm = replication_stress_sweep("cassandra", [1, 2], TINY_SCALE,
+                                        runner=runner)
+        warm_s = time.perf_counter() - started
+        assert warm == cold
+        assert [e.cached for e in events] == [True, True]
+        assert warm_s < cold_s * 0.1
+
+    def test_different_seed_misses_cache(self, tmp_path):
+        runner = CellRunner(cache=True, cache_dir=tmp_path)
+        runner.run([small_cell(seed=1)])
+        events = []
+        runner = CellRunner(cache=True, cache_dir=tmp_path,
+                            progress=events.append)
+        runner.run([small_cell(seed=2)])
+        assert [e.cached for e in events] == [False]
+
+    def test_corrupt_entry_recomputed(self, tmp_path):
+        cell = small_cell()
+        runner = CellRunner(cache=True, cache_dir=tmp_path)
+        (fresh,) = runner.run([cell])
+        entry = tmp_path / f"{cell_fingerprint(cell)}.json"
+        entry.write_text("{not json", encoding="utf-8")
+        (again,) = CellRunner(cache=True, cache_dir=tmp_path).run([cell])
+        assert again == fresh
+
+    def test_cache_off_means_no_files(self, tmp_path):
+        CellRunner(cache=False, cache_dir=tmp_path).run([small_cell()])
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestProgress:
+    def test_events_cover_all_cells_with_totals(self):
+        cells = [small_cell(seed=s) for s in (1, 2, 3)]
+        events = []
+        payloads = CellRunner(jobs=2, progress=events.append).run(cells)
+        assert len(payloads) == 3
+        assert sorted(e.index for e in events) == [0, 1, 2]
+        assert {e.total for e in events} == {3}
+        assert all(not e.cached and e.duration_s > 0 for e in events)
+
+    def test_payload_order_matches_input_order(self):
+        cells = [small_cell(seed=s) for s in (5, 6)]
+        parallel = CellRunner(jobs=2).run(cells)
+        serial = [execute_cell(c) for c in cells]
+        assert parallel == serial

@@ -142,3 +142,108 @@ class TestRunPhase:
         drive(env, client.load(300, n_threads=8))
         drive(env, client.run(300, n_threads=4, warmup_fraction=0.0))
         assert workload.insert_counter.last() > 300
+
+
+class StubBinding:
+    """Deterministic DB: per-op latency from a script, completion log."""
+
+    def __init__(self, env, latencies=None, default_latency=0.0):
+        self.env = env
+        self._latencies = list(latencies or [])
+        self._default = default_latency
+        self.completions = []
+
+    def _serve(self):
+        latency = (self._latencies.pop(0) if self._latencies
+                   else self._default)
+        yield self.env.timeout(latency)
+        self.completions.append(self.env.now)
+
+    def insert(self, key, value, size):
+        yield from self._serve()
+        return True
+
+    def update(self, key, value, size):
+        yield from self._serve()
+        return True
+
+    def read(self, key, size):
+        yield from self._serve()
+        return ("value", self.env.now)
+
+    def scan(self, start_key, limit, record_bytes):
+        yield from self._serve()
+        return [("k", "v")]
+
+
+UPDATE_ONLY = WorkloadSpec(name="update_only", update_proportion=1.0,
+                           record_bytes=100)
+
+
+def build_throttled(env, binding, n_ops, n_threads, target):
+    rngs = RngRegistry(11)
+    workload = Workload(UPDATE_ONLY, 100, rngs.stream("wl"))
+    client = YcsbClient(env, binding, workload, rngs.stream("cl"))
+    return client.run(n_ops, n_threads=n_threads, target_throughput=target,
+                      warmup_fraction=0.0)
+
+
+class TestTargetThrottle:
+    """Direct coverage of the pacing schedule in _run_worker."""
+
+    def test_achieved_throughput_tracks_target(self):
+        # Fast ops (1 ms) against a 200 ops/s cap: the throttle, not the
+        # service time, must set the achieved rate.
+        env = Environment()
+        binding = StubBinding(env, default_latency=0.001)
+        result = drive(env, build_throttled(env, binding, n_ops=400,
+                                            n_threads=4, target=200.0))
+        assert result.operations == 400
+        assert result.throughput == pytest.approx(200.0, rel=0.1)
+
+    def test_unthrottled_when_target_none(self):
+        env = Environment()
+        binding = StubBinding(env, default_latency=0.001)
+        rngs = RngRegistry(11)
+        workload = Workload(UPDATE_ONLY, 100, rngs.stream("wl"))
+        client = YcsbClient(env, binding, workload, rngs.stream("cl"))
+        result = drive(env, client.run(400, n_threads=4,
+                                       target_throughput=None,
+                                       warmup_fraction=0.0))
+        # 4 threads x 1 ms closed loop -> ~4000 ops/s, far above any cap.
+        assert result.throughput > 1000.0
+
+    def test_catchup_clamp_bounds_burst_after_stall(self):
+        # One 2 s stall on the first op, then instant ops, single thread
+        # at 10 ops/s (interval 0.1 s).  The clamp resets the schedule to
+        # env.now - 5 * interval, so at most ~6-7 ops may fire back to
+        # back; without it the whole 2 s backlog (~20 ops) would burst.
+        env = Environment()
+        binding = StubBinding(env, latencies=[2.0], default_latency=0.0)
+        drive(env, build_throttled(env, binding, n_ops=40, n_threads=1,
+                                   target=10.0))
+        stall_end = binding.completions[0]
+        assert stall_end == pytest.approx(2.0)
+        burst = [t for t in binding.completions[1:]
+                 if t <= stall_end + 1e-9]
+        assert 2 <= len(burst) <= 7
+
+        # After the burst the schedule is paced again: the remaining ops
+        # arrive one interval apart.
+        paced = binding.completions[1 + len(burst):]
+        gaps = [b - a for a, b in zip(paced, paced[1:])]
+        assert gaps and all(gap == pytest.approx(0.1) for gap in gaps)
+
+    def test_clamp_drops_backlog_instead_of_replaying_it(self):
+        env = Environment()
+        binding = StubBinding(env, latencies=[2.0], default_latency=0.0)
+        result = drive(env, build_throttled(env, binding, n_ops=40,
+                                            n_threads=1, target=10.0))
+        # Without the clamp the 2 s backlog (~19 ops) would burst and the
+        # run would finish at t = 4.0 s, hitting the target rate exactly.
+        # The clamp forgives only 5 intervals, so the makespan stretches
+        # to ~2.0 s stall + 33 paced intervals and the achieved rate dips
+        # below target — the throttle is a cap, never a catch-up hint.
+        assert result.duration_s == pytest.approx(5.2, rel=0.02)
+        assert result.throughput == pytest.approx(40 / 5.2, rel=0.02)
+        assert result.throughput < 10.0

@@ -20,6 +20,40 @@ class TestPercentile:
         values = sorted(float(i) for i in range(100))
         assert percentile(values, 0.99) == 98.0
 
+    def test_nearest_rank_pinned_n1(self):
+        # ceil(f * 1) - 1 == 0 for every fraction: the only sample.
+        values = [3.0]
+        assert percentile(values, 0.50) == 3.0
+        assert percentile(values, 0.95) == 3.0
+        assert percentile(values, 0.99) == 3.0
+
+    def test_nearest_rank_pinned_n4(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        # Median of 4: ceil(0.5 * 4) - 1 = 1 -> the second sample (the
+        # banker's-rounding formula misranked this as the third).
+        assert percentile(values, 0.50) == 2.0
+        assert percentile(values, 0.95) == 4.0
+        assert percentile(values, 0.99) == 4.0
+
+    def test_nearest_rank_pinned_n100(self):
+        values = [float(i) for i in range(1, 101)]
+        # ceil(0.5 * 100) - 1 = 49 -> the 50th sample, value 50.0
+        # (round(0.5 * 99) = 50 previously returned the 51st).
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.95) == 95.0
+        assert percentile(values, 0.99) == 99.0
+
+    def test_nearest_rank_pinned_n101(self):
+        values = [float(i) for i in range(1, 102)]
+        assert percentile(values, 0.50) == 51.0
+        assert percentile(values, 0.95) == 96.0
+        assert percentile(values, 0.99) == 100.0
+
+    def test_p99_below_max_from_n100(self):
+        # p99 must stop pinning to the maximum once n reaches 100.
+        values = [0.0] * 99 + [1000.0]
+        assert percentile(values, 0.99) == 0.0
+
 
 class TestMeasurements:
     def test_record_and_stats(self):
