@@ -11,58 +11,23 @@ plot the per-second throughput/latency timeline around the failure.
   until the HMaster reassigns them, plus slower reads afterwards (the
   moved regions lost HFile locality).
 
+Since the fault-injection campaign subsystem landed, this example is a
+thin wrapper over the CLI: ``repro-bench failover --fault crash
+--timeline`` runs the same probe per database — sweepable over fault
+kinds and consistency levels, parallel via ``--jobs``, and cached.
+
 Run:  python examples/failover.py
 """
 
-from dataclasses import replace
+import sys
 
-from repro.cluster.failure import CrashEvent, FailureInjector
-from repro.core import default_stress_config
-from repro.core.experiment import ExperimentSession
-from repro.core.report import render_table
-
-CRASH_AT_S = 4.0
-DOWN_FOR_S = 10.0
+from repro.core.cli import main as repro_bench
 
 
-def run_with_crash(db: str):
-    config = default_stress_config(db, "read_update", replication=3)
-    config = replace(config, record_count=6_000, operation_count=36_000,
-                     n_threads=24, target_throughput=2_000.0,
-                     warmup_fraction=0.0)
-    session = ExperimentSession(config)
-    session.load()
-
-    victim = session.cluster.nodes[0].node_id
-    injector = FailureInjector(session.cluster)
-    injector.schedule(CrashEvent(node_id=victim,
-                                 at_s=session.env.now + CRASH_AT_S,
-                                 down_s=DOWN_FOR_S))
-    result = session.run_cell()
-    return result, injector, victim
-
-
-def main() -> None:
-    for db in ("cassandra", "hbase"):
-        result, injector, victim = run_with_crash(db)
-        print(f"=== {db}: node {victim} crashed at +{CRASH_AT_S:.0f}s, "
-              f"restarted after {DOWN_FOR_S:.0f}s ===")
-        crash_time = injector.log[0][0]
-        rows = []
-        for bucket_start, ops, mean_lat in result.measurements.timeline(1.0):
-            marker = ""
-            offset = bucket_start - crash_time
-            if 0 <= offset < 1:
-                marker = "<- crash"
-            elif DOWN_FOR_S <= offset < DOWN_FOR_S + 1:
-                marker = "<- restart"
-            rows.append([f"{offset:+.0f}s", ops, mean_lat * 1000, marker])
-        print(render_table(["t-crash", "ops/s", "mean ms", ""], rows))
-        errors = result.measurements.total_errors
-        print(f"operations: {result.operations}, errors: {errors}, "
-              f"overall p99: {result.overall().p99_ms:.1f} ms")
-        print()
+def main() -> int:
+    return repro_bench(["failover", "--db", "cassandra", "--db", "hbase",
+                        "--fault", "crash", "--timeline", "--no-cache"])
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

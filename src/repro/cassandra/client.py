@@ -5,11 +5,21 @@ from __future__ import annotations
 from typing import Any, Generator, Optional
 
 from repro.cassandra.consistency import ConsistencyLevel
+from repro.cassandra.coordinator import ReadTimeoutError, WriteTimeoutError
 from repro.cassandra.deployment import CassandraCluster
 from repro.cluster.node import Node
 from repro.cluster.topology import DeadNodeError, RpcTimeout
 
 __all__ = ["CassandraSession"]
+
+#: Failures the driver retries on another coordinator: the request may
+#: never have reached the ring (coordinator died) or timed out waiting on
+#: a replica that a healthier coordinator can route around.  All paper
+#: operations are timestamped upserts, so the retry is idempotent.
+#: ``UnavailableError`` is *not* here — it is a definitive answer (too few
+#: live replicas for the CL) that no coordinator choice can fix.
+RETRYABLE_ERRORS = (RpcTimeout, DeadNodeError,
+                    ReadTimeoutError, WriteTimeoutError)
 
 
 class CassandraSession:
@@ -24,13 +34,18 @@ class CassandraSession:
                  read_cl: ConsistencyLevel = ConsistencyLevel.ONE,
                  write_cl: ConsistencyLevel = ConsistencyLevel.ONE,
                  op_timeout_s: float = 10.0,
-                 dc_aware: bool = True) -> None:
+                 dc_aware: bool = True,
+                 retries: int = 1) -> None:
         self.cassandra = cassandra
         self.cluster = cassandra.cluster
         self.client_node = client_node
         self.read_cl = read_cl
         self.write_cl = write_cl
         self.op_timeout_s = op_timeout_s
+        #: Extra attempts on :data:`RETRYABLE_ERRORS`, each against the
+        #: next round-robin coordinator (the DataStax driver's default
+        #: RetryPolicy next-host behaviour).
+        self.retries = retries
         self._rr_index = 0
         #: On geo clusters, prefer coordinators in the client's own
         #: datacenter (the driver's DCAwareRoundRobinPolicy default).
@@ -55,40 +70,53 @@ class CassandraSession:
                 return node
         raise DeadNodeError("no live Cassandra coordinator")
 
+    def _call(self, handler: str, make_payload, request_bytes: int,
+              response_bytes: int) -> Generator:
+        """One coordinator RPC, retried per the session's retry policy.
+
+        ``make_payload`` is re-evaluated per attempt so write timestamps
+        stay fresh across retries.
+        """
+        for attempt in range(self.retries + 1):
+            coordinator = self._next_coordinator()
+            try:
+                result = yield from self.cluster.call(
+                    self.client_node, coordinator, handler, make_payload(),
+                    request_bytes=request_bytes,
+                    response_bytes=response_bytes,
+                    timeout=self.op_timeout_s)
+            except RETRYABLE_ERRORS:
+                if attempt == self.retries:
+                    raise
+                continue
+            return result
+
     # -- operations -----------------------------------------------------
 
     def insert(self, key: str, value: Any, size: int,
                cl: Optional[ConsistencyLevel] = None) -> Generator:
         """Write one row at the session's (or given) write CL."""
         cl = cl or self.write_cl
-        coordinator = self._next_coordinator()
-        result = yield from self.cluster.call(
-            self.client_node, coordinator, "c.coord_write",
-            (key, value, size, self.cluster.env.now, cl.value),
-            request_bytes=size + 80, response_bytes=20,
-            timeout=self.op_timeout_s)
+        result = yield from self._call(
+            "c.coord_write",
+            lambda: (key, value, size, self.cluster.env.now, cl.value),
+            request_bytes=size + 80, response_bytes=20)
         return result
 
     def read(self, key: str, expected_bytes: int = 1024,
              cl: Optional[ConsistencyLevel] = None) -> Generator:
         """Read one row; returns ``(value, timestamp)`` or None."""
         cl = cl or self.read_cl
-        coordinator = self._next_coordinator()
-        result = yield from self.cluster.call(
-            self.client_node, coordinator, "c.coord_read",
-            (key, cl.value, expected_bytes),
-            request_bytes=70, response_bytes=expected_bytes + 30,
-            timeout=self.op_timeout_s)
+        result = yield from self._call(
+            "c.coord_read", lambda: (key, cl.value, expected_bytes),
+            request_bytes=70, response_bytes=expected_bytes + 30)
         return result
 
     def scan(self, start_key: str, limit: int, record_bytes: int = 1024,
              cl: Optional[ConsistencyLevel] = None) -> Generator:
         """Token-order scan from ``start_key``."""
         cl = cl or self.read_cl
-        coordinator = self._next_coordinator()
-        rows = yield from self.cluster.call(
-            self.client_node, coordinator, "c.coord_scan",
-            (start_key, limit, cl.value, record_bytes),
-            request_bytes=80, response_bytes=record_bytes * limit,
-            timeout=self.op_timeout_s)
+        rows = yield from self._call(
+            "c.coord_scan", lambda: (start_key, limit, cl.value, record_bytes),
+            request_bytes=80, response_bytes=record_bytes * limit)
         return rows

@@ -53,9 +53,16 @@ class HintStore:
         env = self.owner.node.env
         while True:
             yield env.timeout(self.replay_interval_s)
+            # A dead coordinator cannot deliver its own hints: replay
+            # pauses while the owner is down and resumes after restart
+            # (the hints sit in the owner's local system.hints table).
+            if not self.owner.node.alive:
+                continue
             deliverable = [h for h in self._hints
                            if cluster.node(h.target_node_id).alive]
             for hint in deliverable:
+                if not self.owner.node.alive:
+                    break  # owner crashed mid-replay
                 try:
                     yield from cluster.call(
                         self.owner.node, cluster.node(hint.target_node_id),

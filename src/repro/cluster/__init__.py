@@ -11,7 +11,10 @@ fitted curves.
 
 from repro.cluster.disk import Disk, DiskSpec
 from repro.cluster.energy import EnergyMeter, EnergyReport, PowerSpec
-from repro.cluster.failure import CrashEvent, FailureInjector
+from repro.cluster.failure import (FAULT_KINDS, CrashEvent, CrashFault,
+                                   DiskDegradeFault, FailureInjector,
+                                   FaultSchedule, FaultSpec, FlapFault,
+                                   NicDegradeFault, PartitionFault)
 from repro.cluster.geo import GeoCluster, GeoSpec
 from repro.cluster.nic import Network, NetworkSpec, Nic
 from repro.cluster.node import Node, NodeSpec
@@ -21,12 +24,20 @@ __all__ = [
     "Cluster",
     "ClusterSpec",
     "CrashEvent",
+    "CrashFault",
     "DeadNodeError",
     "Disk",
+    "DiskDegradeFault",
     "DiskSpec",
     "EnergyMeter",
     "EnergyReport",
+    "FAULT_KINDS",
     "FailureInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "FlapFault",
+    "NicDegradeFault",
+    "PartitionFault",
     "GeoCluster",
     "GeoSpec",
     "Network",

@@ -73,6 +73,10 @@ class Disk:
         self.bytes_read = 0
         self.bytes_written = 0
         self.busy_time = 0.0
+        #: Fault-injection hook: service-time multiplier (>= 1).  A
+        #: gray-failing disk serves every access, just ``slowdown``-times
+        #: slower (see :class:`repro.cluster.failure.DiskDegradeFault`).
+        self.slowdown = 1.0
         self._flush_interval_s = flush_interval_s
         self._flush_kick = None
         env.process(self._flusher(), name="disk-flusher")
@@ -86,7 +90,7 @@ class Disk:
     def _access(self, service_time: float, priority: int) -> Generator:
         with self._spindle.request(priority=priority) as req:
             yield req
-            t = self._jittered(service_time)
+            t = self._jittered(service_time) * self.slowdown
             self.busy_time += t
             yield self.env.timeout(t)
 

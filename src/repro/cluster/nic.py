@@ -52,12 +52,18 @@ class Nic:
         self._ingress = Resource(env, capacity=1)
         self.bytes_sent = 0
         self.bytes_received = 0
+        #: Fault-injection hook: serialization-time multiplier (>= 1).
+        #: Packet loss and added latency both surface to flows as a lower
+        #: effective bandwidth, so a degraded NIC is modelled as a slower
+        #: one (see :class:`repro.cluster.failure.NicDegradeFault`).
+        self.slowdown = 1.0
 
     def _serialize(self, channel: Resource, size: int) -> Generator:
         with channel.request() as req:
             yield req
             yield self.env.timeout(
-                (size + self.spec.header_bytes) / self.spec.bandwidth_bps)
+                self.slowdown * (size + self.spec.header_bytes)
+                / self.spec.bandwidth_bps)
 
     def send(self, size: int) -> Generator:
         self.bytes_sent += size

@@ -18,8 +18,11 @@ from repro.core.experiment import (
     ExperimentSession,
     run_experiment,
 )
+from repro.core.failover import StalenessProbe, build_failover_report
 from repro.core.report import (
     render_consistency_sweep,
+    render_failover_sweep,
+    render_failover_timeline,
     render_micro_sweep,
     render_series,
     render_stress_sweep,
@@ -28,9 +31,13 @@ from repro.core.report import (
 from repro.core.sla import Sla, SlaReport, evaluate_sla, max_throughput_under_sla
 from repro.core.sweep import (
     CONSISTENCY_MODES,
+    FAILOVER_CL_MODES,
+    QUICK_FAILOVER_SCALE,
     QUICK_SCALE,
+    FailoverScale,
     SweepScale,
     consistency_stress_sweep,
+    failover_sweep,
     replication_micro_sweep,
     replication_stress_sweep,
 )
@@ -41,17 +48,25 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "ExperimentSession",
+    "FAILOVER_CL_MODES",
+    "FailoverScale",
     "HBaseConfig",
+    "QUICK_FAILOVER_SCALE",
     "QUICK_SCALE",
     "Sla",
     "SlaReport",
+    "StalenessProbe",
     "SweepScale",
+    "build_failover_report",
     "consistency_stress_sweep",
     "default_micro_config",
     "default_stress_config",
     "evaluate_sla",
+    "failover_sweep",
     "max_throughput_under_sla",
     "render_consistency_sweep",
+    "render_failover_sweep",
+    "render_failover_timeline",
     "render_micro_sweep",
     "render_series",
     "render_stress_sweep",

@@ -14,8 +14,11 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.cluster.failure import FAULT_KINDS
 from repro.core.report import (
     render_consistency_sweep,
+    render_failover_sweep,
+    render_failover_timeline,
     render_micro_sweep,
     render_progress,
     render_stress_sweep,
@@ -23,9 +26,12 @@ from repro.core.report import (
 )
 from repro.core.runner import CellRunner, default_cache_dir
 from repro.core.sweep import (
+    QUICK_FAILOVER_SCALE,
     QUICK_SCALE,
+    FailoverScale,
     SweepScale,
     consistency_stress_sweep,
+    failover_sweep,
     replication_micro_sweep,
     replication_stress_sweep,
 )
@@ -102,6 +108,21 @@ def cmd_fig3(args) -> int:
     return 0
 
 
+def cmd_failover(args) -> int:
+    scale = QUICK_FAILOVER_SCALE if args.quick else FailoverScale()
+    for db in args.dbs:
+        sweep = failover_sweep(db, args.faults, scale, runner=_runner(args))
+        print(render_failover_sweep(db, sweep))
+        if args.timeline:
+            for kind in sweep:
+                for mode, summary in sweep[kind].items():
+                    print()
+                    print(render_failover_timeline(
+                        f"{db}/{kind}/cl={mode}", summary["failover"]))
+        print()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -132,14 +153,38 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=["hbase", "cassandra"],
                            help="database(s) to run (default: both)")
         p.set_defaults(func=func)
+
+    p_failover = sub.add_parser(
+        "failover", help="fault-injection campaign (availability report)")
+    p_failover.add_argument("--quick", action="store_true",
+                            help="small scale for fast runs")
+    p_failover.add_argument("--db", dest="dbs", action="append",
+                            choices=["hbase", "cassandra"],
+                            help="database(s) to run (default: both)")
+    p_failover.add_argument("--fault", dest="faults", action="append",
+                            choices=list(FAULT_KINDS),
+                            help="fault kind(s) to inject (default: crash)")
+    p_failover.add_argument("--timeline", action="store_true",
+                            help="print per-second timelines with "
+                                 "injection markers")
+    p_failover.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="run campaign cells across N worker "
+                                 "processes (0 = one per CPU core)")
+    p_failover.add_argument("--no-cache", action="store_true",
+                            help="recompute every cell instead of reusing "
+                                 f"the cell cache ({default_cache_dir()})")
+    p_failover.set_defaults(func=cmd_failover)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if getattr(args, "dbs", None) is None and args.command in ("fig1", "fig2"):
+    if (getattr(args, "dbs", None) is None
+            and args.command in ("fig1", "fig2", "failover")):
         args.dbs = ["hbase", "cassandra"]
+    if getattr(args, "faults", None) is None and args.command == "failover":
+        args.faults = ["crash"]
     return args.func(args)
 
 

@@ -8,6 +8,7 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Optional
 
 from repro.cassandra.consistency import ConsistencyLevel
+from repro.cluster.failure import FaultSpec
 from repro.storage.lsm import StorageSpec
 from repro.ycsb.workload import MICRO_WORKLOADS, STRESS_WORKLOADS, WorkloadSpec
 
@@ -67,6 +68,11 @@ class ExperimentConfig:
     hbase: HBaseConfig = field(default_factory=HBaseConfig)
     cassandra: CassandraConfig = field(default_factory=CassandraConfig)
     storage: StorageSpec = field(default_factory=StorageSpec)
+    #: Declarative fault schedule for this cell (``at_s`` relative to the
+    #: start of each measured run).  Only armed when the caller runs the
+    #: cell with fault injection enabled, so the same config can serve
+    #: both a healthy baseline and a chaos campaign.
+    faults: tuple[FaultSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if self.db not in ("hbase", "cassandra"):

@@ -19,8 +19,10 @@ from typing import Optional
 from repro.cassandra.client import CassandraSession
 from repro.cassandra.consistency import ConsistencyLevel
 from repro.cassandra.deployment import CassandraCluster, CassandraSpec
+from repro.cluster.failure import FailureInjector, FaultSchedule
 from repro.cluster.topology import Cluster, ClusterSpec
 from repro.core.config import ExperimentConfig
+from repro.core.failover import StalenessProbe, build_failover_report
 from repro.hbase.client import HBaseClient
 from repro.hbase.deployment import HBaseCluster, HBaseSpec
 from repro.sim.kernel import Environment
@@ -42,7 +44,7 @@ def summarize_run(result: "RunResult") -> dict:
     indistinguishable from a freshly computed one.
     """
     overall = result.overall()
-    return {
+    summary = {
         "workload": result.workload,
         "target": result.target_throughput,
         "mean_ms": overall.mean_ms,
@@ -51,6 +53,9 @@ def summarize_run(result: "RunResult") -> dict:
         "ops": overall.count,
         "errors": overall.errors,
     }
+    if result.failover is not None:
+        summary["failover"] = result.failover
+    return summary
 
 
 @dataclass(frozen=True)
@@ -147,8 +152,15 @@ class ExperimentSession:
                  n_threads: Optional[int] = None,
                  read_cl: Optional[ConsistencyLevel] = None,
                  write_cl: Optional[ConsistencyLevel] = None,
-                 warmup_fraction: Optional[float] = 0.0) -> RunResult:
-        """Run one measured workload cell on the loaded deployment."""
+                 warmup_fraction: Optional[float] = 0.0,
+                 inject_faults: bool = False) -> RunResult:
+        """Run one measured workload cell on the loaded deployment.
+
+        With ``inject_faults`` the config's fault schedule is armed
+        relative to the run's start, a read-your-writes probe runs
+        alongside the workload, and the result carries a
+        :func:`~repro.core.failover.build_failover_report` dict.
+        """
         if not self._loaded:
             raise RuntimeError("call load() before run_cell()")
         if (read_cl or write_cl) and self._session is None:
@@ -163,21 +175,40 @@ class ExperimentSession:
         client = YcsbClient(self.env, self.binding, runtime_workload,
                             self.rngs.stream(f"client.run.{self.env.now}"),
                             client_node=self.client_node)
+        ops = operation_count or self.config.operation_count
+        target = (target_throughput if target_throughput is not None
+                  else self.config.target_throughput)
+        injector = probe = None
+        run_started = self.env.now
+        if inject_faults and self.config.faults:
+            injector = FailureInjector(self.cluster)
+            injector.inject(FaultSchedule.from_specs(self.config.faults,
+                                                     base_s=run_started))
+            probe = StalenessProbe(self.env, self.binding)
+            self.env.process(probe.run(), name="staleness-probe")
         meter = EnergyMeter(self.cluster.nodes)
         meter.start()
         process = self.env.process(
-            client.run(operation_count or self.config.operation_count,
+            client.run(ops,
                        n_threads=n_threads or self.config.n_threads,
-                       target_throughput=(target_throughput
-                                          if target_throughput is not None
-                                          else self.config.target_throughput),
+                       target_throughput=target,
                        warmup_fraction=(1.0 if warmup_fraction is None
                                         else (warmup_fraction
                                               or self.config.warmup_fraction))),
             name="run")
         result: RunResult = self.env.run(until=process)
         result = replace(result, energy=meter.stop())
+        if probe is not None:
+            probe.stop()
         self._settle()
+        if injector is not None:
+            # Built after settling so restarts/heals landing just past
+            # the run's end still make it into the report.
+            expected_end = (run_started + ops / target) if target else None
+            result = replace(result, failover=build_failover_report(
+                result.measurements, injector.log,
+                target_throughput=target, expected_end=expected_end,
+                probe=probe))
         return result
 
     def db_stats(self) -> dict:

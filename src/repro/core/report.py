@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-__all__ = ["render_consistency_sweep", "render_micro_sweep",
+__all__ = ["render_consistency_sweep", "render_failover_sweep",
+           "render_failover_timeline", "render_micro_sweep",
            "render_progress", "render_series", "render_stress_sweep",
            "render_table"]
 
@@ -80,6 +81,52 @@ def render_stress_sweep(db: str, sweep: dict) -> str:
     return render_table(
         headers, rows,
         title=f"Fig.2 ({db}): stress peak throughput/latency vs replication factor")
+
+
+def _opt_s(value) -> str:
+    """Optional seconds: ``-`` when the metric never triggered."""
+    return "-" if value is None else f"{value:.1f}"
+
+
+def render_failover_sweep(db: str, sweep: dict) -> str:
+    """Availability report table, one row per (fault kind, CL mode).
+
+    ``sweep`` is :func:`repro.core.sweep.failover_sweep` output.
+    """
+    headers = ["fault", "CL", "ops", "errors", "detect s", "recover s",
+               "err win s", "stale", "errors by type"]
+    rows = []
+    for kind in sweep:
+        for mode, summary in sweep[kind].items():
+            report = summary["failover"]
+            by_type = ", ".join(f"{name}={count}" for name, count
+                                in report["errors_by_type"].items()) or "-"
+            rows.append([kind, mode, summary["ops"], report["errors"],
+                         _opt_s(report["time_to_detection_s"]),
+                         _opt_s(report["time_to_recovery_s"]),
+                         f"{report['error_window_s']:.1f}",
+                         report["stale_reads"], by_type])
+    return render_table(
+        headers, rows,
+        title=f"Failover campaign ({db}): availability under injected faults")
+
+
+def render_failover_timeline(label: str, report: dict) -> str:
+    """Per-second ops/latency/error timeline with injection markers."""
+    bucket_s = report["bucket_s"]
+    markers: dict[int, list[str]] = {}
+    timeline = report["timeline"]
+    first = timeline[0][0] if timeline else 0.0
+    for t, node, action in report["injections"]:
+        index = int((t - first) // bucket_s)
+        markers.setdefault(index, []).append(f"{action} n{node}")
+    lines = [f"{label}  (bucket {bucket_s:g}s)",
+             f"{'t(s)':>8}  {'ops':>6}  {'mean ms':>8}  {'errors':>6}"]
+    for i, (start, ops, mean_ms, errors) in enumerate(timeline):
+        marker = ("  <- " + ", ".join(markers[i])) if i in markers else ""
+        lines.append(f"{start:8.1f}  {ops:6d}  {mean_ms:8.2f}  "
+                     f"{errors:6d}{marker}")
+    return "\n".join(lines)
 
 
 def render_consistency_sweep(sweep: dict) -> str:

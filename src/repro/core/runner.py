@@ -79,6 +79,9 @@ class RunSpec:
     #: Unmeasured runs execute (they move the cluster's state — e.g. the
     #: ablation's interleaved updates) but produce no summary.
     measured: bool = True
+    #: Arm the config's fault schedule for this run and attach a
+    #: failover report to its summary (chaos campaigns).
+    faults: bool = False
 
 
 @dataclass(frozen=True)
@@ -147,7 +150,8 @@ def execute_cell(spec: CellSpec) -> dict:
             operation_count=run.operation_count,
             target_throughput=run.target_throughput,
             read_cl=ConsistencyLevel(run.read_cl) if run.read_cl else None,
-            write_cl=ConsistencyLevel(run.write_cl) if run.write_cl else None)
+            write_cl=ConsistencyLevel(run.write_cl) if run.write_cl else None,
+            inject_faults=run.faults)
         if run.measured:
             runs.append(summarize_run(result))
     payload: dict = {"runs": runs}

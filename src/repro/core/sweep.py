@@ -23,6 +23,7 @@ from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 from repro.cassandra.consistency import ConsistencyLevel
+from repro.cluster.failure import FaultSpec
 from repro.core.config import (default_micro_config,
                                default_stress_config,
                                scaled_stress_storage)
@@ -31,10 +32,15 @@ from repro.storage.lsm import StorageSpec
 
 __all__ = [
     "CONSISTENCY_MODES",
+    "FAILOVER_CL_MODES",
+    "FailoverScale",
     "MICRO_OP_ORDER",
+    "QUICK_FAILOVER_SCALE",
     "STRESS_WORKLOAD_ORDER",
     "SweepScale",
     "consistency_stress_sweep",
+    "failover_cells",
+    "failover_sweep",
     "replication_micro_sweep",
     "replication_stress_sweep",
 ]
@@ -190,6 +196,112 @@ def replication_stress_sweep(db: str, replication_factors: Sequence[int],
                 "per_target": per_target,
             }
         out[cell.key] = per_workload
+    return out
+
+
+# -- Failover campaigns: db x fault type x consistency level ----------------
+
+#: The consistency rounds a Cassandra failover campaign compares: weak
+#: (rides out the crash on hinted handoff) vs quorum (pays availability
+#: for consistency).  HBase has no per-request CL; its campaigns run a
+#: single ``n/a`` mode.
+FAILOVER_CL_MODES: dict[str, tuple[ConsistencyLevel, ConsistencyLevel]] = {
+    "ONE": (ConsistencyLevel.ONE, ConsistencyLevel.ONE),
+    "QUORUM": (ConsistencyLevel.QUORUM, ConsistencyLevel.QUORUM),
+}
+
+
+@dataclass(frozen=True)
+class FailoverScale:
+    """Scale knobs for fault-injection campaigns.
+
+    The run is throttled well below peak (the Pokluda et al. probe
+    methodology): at an offered load the healthy cluster meets easily, a
+    throughput dip or error burst is unambiguously the fault's doing.
+    """
+
+    record_count: int = 6_000
+    operation_count: int = 36_000
+    n_threads: int = 24
+    n_nodes: int = 10
+    target_throughput: float = 2_000.0
+    #: When the fault fires, seconds after the measured run starts.
+    fault_at_s: float = 4.0
+    #: How long it lasts (crash downtime, partition/degradation window).
+    fault_duration_s: float = 10.0
+    #: Service-time multiplier for the gray-failure kinds.
+    severity: float = 8.0
+    seed: int = 42
+
+
+#: Fast settings for tests, CI chaos smoke, and --quick campaigns.
+QUICK_FAILOVER_SCALE = FailoverScale(record_count=3_000,
+                                     operation_count=10_000,
+                                     n_threads=16, n_nodes=8,
+                                     target_throughput=1_000.0,
+                                     fault_at_s=2.0, fault_duration_s=5.0)
+
+
+def _failover_fault(kind: str, scale: FailoverScale) -> FaultSpec:
+    # Node 0 is a server in both deployments (the client — and HBase's
+    # master — live on the last node), so every fault kind targets it.
+    return FaultSpec(kind=kind, node_id=0, at_s=scale.fault_at_s,
+                     duration_s=scale.fault_duration_s,
+                     severity=scale.severity)
+
+
+def failover_cells(db: str, fault_kinds: Sequence[str],
+                   scale: FailoverScale,
+                   modes: Optional[dict] = None) -> list[CellSpec]:
+    """One cell per (fault kind, consistency mode)."""
+    if modes is None:
+        modes = FAILOVER_CL_MODES if db == "cassandra" else {"n/a": None}
+    cells = []
+    for kind in fault_kinds:
+        for mode, cls in modes.items():
+            config = default_stress_config(
+                db, "read_update", replication=3,
+                target_throughput=scale.target_throughput, seed=scale.seed)
+            config = replace(
+                config, record_count=scale.record_count,
+                operation_count=scale.operation_count,
+                n_threads=scale.n_threads, n_nodes=scale.n_nodes,
+                storage=scaled_stress_storage(scale.record_count, 1000,
+                                              scale.n_nodes - 1),
+                faults=(_failover_fault(kind, scale),))
+            read_cl = write_cl = None
+            if cls is not None:
+                read_cl, write_cl = (cl.value for cl in cls)
+            cells.append(CellSpec(
+                key=(kind, mode),
+                label=f"failover/{db}/{kind}/cl={mode}",
+                config=config,
+                runs=(RunSpec(workload="read_update",
+                              target_throughput=scale.target_throughput,
+                              read_cl=read_cl, write_cl=write_cl,
+                              faults=True),),
+                warm=WarmSpec(operations=max(2_000,
+                                             scale.operation_count // 6))))
+    return cells
+
+
+def failover_sweep(db: str, fault_kinds: Sequence[str] = ("crash",),
+                   scale: Optional[FailoverScale] = None,
+                   modes: Optional[dict] = None,
+                   runner: Optional[CellRunner] = None) -> dict:
+    """Fault-injection campaign: one degraded run per (fault kind, CL).
+
+    Returns ``{fault_kind: {mode: summary}}`` where each summary is a
+    :func:`~repro.core.experiment.summarize_run` dict whose ``failover``
+    entry is the availability report (time to detection / recovery,
+    errors by type, stale reads, error-aware timeline).
+    """
+    scale = scale or FailoverScale()
+    cells = failover_cells(db, fault_kinds, scale, modes)
+    out: dict = {}
+    for cell, payload in zip(cells, _run(cells, runner)):
+        kind, mode = cell.key
+        out.setdefault(kind, {})[mode] = payload["runs"][0]
     return out
 
 

@@ -54,6 +54,10 @@ class RunResult:
     #: Cluster energy over the cell (an
     #: :class:`repro.cluster.energy.EnergyReport`), when metering is on.
     energy: Optional[object] = None
+    #: JSON-safe availability report (see
+    #: :func:`repro.core.failover.build_failover_report`) attached when
+    #: the cell ran with fault injection enabled.
+    failover: Optional[dict] = None
 
     def stats(self, op: str):
         return self.measurements.stats(op)
@@ -175,9 +179,11 @@ class YcsbClient:
             try:
                 yield from self._client_overhead()
                 found = yield from self._execute(op)
-            except OPERATION_ERRORS:
+            except OPERATION_ERRORS as exc:
                 if not warm:
-                    measurements.record_error(op.value)
+                    measurements.record_error(op.value,
+                                              kind=type(exc).__name__,
+                                              at=env.now)
                 continue
             if not found:
                 state["not_found"] += 1

@@ -63,14 +63,26 @@ class Measurements:
         #: op name -> list of (completion time, latency seconds).
         self.samples: dict[str, list[tuple[float, float]]] = {}
         self.errors: dict[str, int] = {}
+        #: error kind (exception class name) -> count.  Distinguishes an
+        #: ``RpcTimeout`` burst (slow/unreachable coordinator) from
+        #: ``UnavailableError`` (not enough live replicas for the CL) from
+        #: ``DeadNodeError`` (no coordinator at all) in failover reports.
+        self.errors_by_type: dict[str, int] = {}
+        #: (time, op, kind) per error, for error-aware timelines.  Errors
+        #: recorded without a timestamp are counted above but not placed.
+        self.error_events: list[tuple[float, str, str]] = []
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
 
     def record(self, op: str, completed_at: float, latency: float) -> None:
         self.samples.setdefault(op, []).append((completed_at, latency))
 
-    def record_error(self, op: str) -> None:
+    def record_error(self, op: str, kind: str = "error",
+                     at: Optional[float] = None) -> None:
         self.errors[op] = self.errors.get(op, 0) + 1
+        self.errors_by_type[kind] = self.errors_by_type.get(kind, 0) + 1
+        if at is not None:
+            self.error_events.append((at, op, kind))
 
     @property
     def total_ops(self) -> int:
@@ -154,4 +166,54 @@ class Measurements:
                 acc = []
             acc.append(lat)
         out.append((bucket_start, len(acc), sum(acc) / len(acc)))
+        return out
+
+    def timeline_with_errors(
+            self, bucket_s: float) -> list[tuple[float, int, float, int]]:
+        """(bucket start, ops, mean latency, errors) per time bucket.
+
+        Unlike :meth:`timeline`, buckets are laid out over the union of
+        success *and* error timestamps (an outage window where nothing
+        completes but everything errors still shows up), and the run is
+        zero-filled out to ``finished_at`` so a throughput dip at the end
+        of the recording is visible rather than truncated.
+        """
+        if bucket_s <= 0:
+            raise ValueError("bucket_s must be positive")
+        all_samples = sorted(
+            (t, lat) for op_samples in self.samples.values()
+            for t, lat in op_samples)
+        error_times = sorted(t for t, _, _ in self.error_events)
+        if not all_samples and not error_times:
+            return []
+        starts = []
+        if all_samples:
+            starts.append(all_samples[0][0])
+        if error_times:
+            starts.append(error_times[0])
+        first = min(starts)
+        ends = []
+        if all_samples:
+            ends.append(all_samples[-1][0])
+        if error_times:
+            ends.append(error_times[-1])
+        if self.finished_at is not None:
+            ends.append(self.finished_at)
+        last = max(ends)
+        out: list[tuple[float, int, float, int]] = []
+        bucket_start = (first // bucket_s) * bucket_s
+        si = ei = 0
+        while bucket_start <= last:
+            bucket_end = bucket_start + bucket_s
+            lats: list[float] = []
+            while si < len(all_samples) and all_samples[si][0] < bucket_end:
+                lats.append(all_samples[si][1])
+                si += 1
+            errors = 0
+            while ei < len(error_times) and error_times[ei] < bucket_end:
+                errors += 1
+                ei += 1
+            mean = sum(lats) / len(lats) if lats else 0.0
+            out.append((bucket_start, len(lats), mean, errors))
+            bucket_start = bucket_end
         return out

@@ -83,6 +83,41 @@ class TestHintReplay:
         victim_ts, live_ts = drive(env, scenario())
         assert victim_ts == live_ts
 
+    def test_replay_pauses_while_owner_dead(self):
+        # Regression: a dead coordinator must not deliver its own hints;
+        # replay resumes only after the owner restarts.
+        env, cluster, cassandra, session = build()
+
+        def scenario():
+            key = key_for_index(4)
+            victim = cassandra.replicas_of(key)[-1]
+            cluster.kill(victim)
+            yield from session.insert(key, "held", 100)
+            owners = [n.node.node_id for n in cassandra.nodes.values()
+                      if len(n.hints)]
+            assert owners, "the write should have stored a hint"
+            owner = owners[0]
+            # Now the coordinator holding the hint dies too, and the
+            # original victim comes back: the hint is deliverable, but
+            # its owner is down — nothing may move.
+            cluster.kill(owner)
+            cluster.restart(victim)
+            yield env.timeout(3)
+            delivered_while_down = cassandra.nodes[owner].hints.delivered
+            still_held = len(cassandra.nodes[owner].hints)
+            # Owner recovers: replay resumes and drains the queue.
+            cluster.restart(owner)
+            yield env.timeout(3)
+            return (delivered_while_down, still_held,
+                    len(cassandra.nodes[owner].hints),
+                    cassandra.nodes[victim].newest_timestamp(key))
+
+        delivered_while_down, held, held_after, newest = drive(env, scenario())
+        assert delivered_while_down == 0
+        assert held == 1
+        assert held_after == 0
+        assert newest is not None
+
     def test_no_hints_when_everyone_alive(self):
         env, _, cassandra, session = build()
 

@@ -40,6 +40,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_failover_parses(self):
+        args = build_parser().parse_args(
+            ["failover", "--quick", "--db", "cassandra",
+             "--fault", "crash", "--fault", "slow_disk",
+             "--timeline", "--jobs", "4"])
+        assert args.command == "failover"
+        assert args.dbs == ["cassandra"]
+        assert args.faults == ["crash", "slow_disk"]
+        assert args.timeline is True
+        assert args.jobs == 4
+
+    def test_failover_invalid_fault_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["failover", "--fault", "meteor"])
+
 
 class TestCommands:
     def test_table1_prints_workloads(self, capsys):
@@ -65,3 +80,19 @@ class TestCommands:
         assert second.out == first.out
         assert "cached" in second.err
         assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_failover_end_to_end_cached_identical(self, tmp_path,
+                                                  monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CELL_CACHE", str(tmp_path))
+        argv = ["failover", "--quick", "--db", "hbase", "--timeline"]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "Failover campaign (hbase)" in first.out
+        assert "crash n0" in first.out      # injection marker
+        assert "restart n0" in first.out
+        assert "detect s" in first.out      # availability columns
+        # The cached rerun is bit-identical (the acceptance criterion).
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "cached" in second.err

@@ -10,8 +10,10 @@ import pytest
 
 from repro.cassandra.consistency import ConsistencyLevel
 from repro.core.sweep import (
+    QUICK_FAILOVER_SCALE,
     SweepScale,
     consistency_stress_sweep,
+    failover_sweep,
     replication_micro_sweep,
     replication_stress_sweep,
 )
@@ -127,3 +129,80 @@ class TestConsistencyCorrectness:
         read_cl, write_cl = CONSISTENCY_MODES["write ALL"]
         assert read_cl is ConsistencyLevel.ONE
         assert write_cl is ConsistencyLevel.ALL
+
+
+class TestFailoverShapes:
+    """The availability story (Pokluda et al., the paper's §5 citation):
+    Cassandra's hinted handoff rides out a crash at weak consistency;
+    HBase blocks the dead server's regions until the HMaster reassigns
+    them."""
+
+    @pytest.fixture(scope="class")
+    def cassandra_crash(self):
+        sweep = failover_sweep("cassandra", ("crash",),
+                               QUICK_FAILOVER_SCALE, modes={
+                                   "ONE": (ConsistencyLevel.ONE,
+                                           ConsistencyLevel.ONE)})
+        return sweep["crash"]["ONE"]
+
+    @pytest.fixture(scope="class")
+    def hbase_crash(self):
+        sweep = failover_sweep("hbase", ("crash",), QUICK_FAILOVER_SCALE)
+        return sweep["crash"]["n/a"]
+
+    def test_cassandra_one_rides_out_crash_without_errors(
+            self, cassandra_crash):
+        report = cassandra_crash["failover"]
+        assert cassandra_crash["errors"] == 0
+        assert report["errors_by_type"] == {}
+        # No throughput dip either: the ring keeps serving.
+        assert report["time_to_recovery_s"] == 0.0
+
+    def test_cassandra_crash_stores_and_replays_hints(self):
+        # The mechanism behind the ride-through: writes to the dead
+        # replica become hints and land after restart.
+        from dataclasses import replace as dc_replace
+
+        from repro.cluster.failure import FaultSpec
+        from repro.core import ExperimentSession, default_stress_config
+
+        config = default_stress_config("cassandra", "read_update",
+                                       replication=3,
+                                       target_throughput=1_000.0, seed=7)
+        config = dc_replace(config, record_count=3_000,
+                            operation_count=8_000, n_threads=16, n_nodes=8,
+                            faults=(FaultSpec(kind="crash", node_id=0,
+                                              at_s=2.0, duration_s=3.0),))
+        session = ExperimentSession(config)
+        session.load()
+        session.run_cell(inject_faults=True)
+        stats = session.cassandra.total_stats()
+        assert stats["hints_stored"] > 0
+        delivered = sum(n.hints.delivered
+                        for n in session.cassandra.nodes.values())
+        assert delivered > 0
+        outstanding = sum(len(n.hints)
+                          for n in session.cassandra.nodes.values())
+        assert outstanding == 0
+
+    def test_hbase_crash_shows_recovery_window(self, hbase_crash):
+        report = hbase_crash["failover"]
+        # Clients stall on the dead server's regions until the HMaster
+        # notices (detection tick) and moves them: a measurable window...
+        assert report["time_to_detection_s"] is not None
+        assert report["time_to_recovery_s"] > 1.0
+        # ...but bounded: well before the node's restart, reassignment
+        # has already restored service.
+        assert report["time_to_recovery_s"] < \
+            QUICK_FAILOVER_SCALE.fault_duration_s + 3.0
+
+    def test_hbase_recovers_before_run_ends(self, hbase_crash):
+        report = hbase_crash["failover"]
+        timeline = report["timeline"]
+        expected = (QUICK_FAILOVER_SCALE.target_throughput
+                    * report["bucket_s"])
+        recovered = [ops for start, ops, _, _ in timeline
+                     if start >= (report["fault_at_s"]
+                                  + report["time_to_recovery_s"])]
+        # Post-recovery buckets run at the offered load again.
+        assert any(ops > 0.9 * expected for ops in recovered)

@@ -112,6 +112,60 @@ class TestMeasurements:
         assert stats.count == 0 and stats.p99_ms == 0.0
 
 
+class TestErrorAttribution:
+    def test_error_kinds_counted(self):
+        m = Measurements()
+        m.record_error("read", kind="RpcTimeout", at=1.0)
+        m.record_error("read", kind="RpcTimeout", at=2.0)
+        m.record_error("update", kind="UnavailableError", at=3.0)
+        assert m.errors_by_type == {"RpcTimeout": 2, "UnavailableError": 1}
+        assert m.error_events == [(1.0, "read", "RpcTimeout"),
+                                  (2.0, "read", "RpcTimeout"),
+                                  (3.0, "update", "UnavailableError")]
+        assert m.total_errors == 3
+
+    def test_legacy_single_arg_still_works(self):
+        m = Measurements()
+        m.record_error("update")
+        assert m.errors == {"update": 1}
+        assert m.errors_by_type == {"error": 1}
+        assert m.error_events == []  # no timestamp, not placed
+
+    def test_timeline_with_errors_places_error_only_buckets(self):
+        m = Measurements()
+        m.record("read", 0.5, 0.01)
+        m.record("read", 3.5, 0.03)
+        # An outage window [1, 3): nothing completes, everything errors.
+        m.record_error("read", kind="RpcTimeout", at=1.5)
+        m.record_error("read", kind="RpcTimeout", at=2.5)
+        timeline = m.timeline_with_errors(1.0)
+        assert [(ops, errors) for _, ops, _, errors in timeline] == \
+            [(1, 0), (0, 1), (0, 1), (1, 0)]
+
+    def test_timeline_with_errors_zero_fills_to_finish(self):
+        m = Measurements()
+        m.record("read", 0.5, 0.01)
+        m.finished_at = 3.2  # run dragged on with nothing completing
+        timeline = m.timeline_with_errors(1.0)
+        assert [ops for _, ops, _, _ in timeline] == [1, 0, 0, 0]
+
+    def test_timeline_with_errors_matches_timeline_when_clean(self):
+        m = Measurements()
+        for t in (0.1, 0.2, 1.5, 2.9):
+            m.record("read", t, 0.01)
+        with_errors = m.timeline_with_errors(1.0)
+        assert [(start, ops) for start, ops, _, _ in with_errors] == \
+            [(start, ops) for start, ops, _ in m.timeline(1.0)]
+        assert all(errors == 0 for _, _, _, errors in with_errors)
+
+    def test_timeline_with_errors_invalid_bucket(self):
+        with pytest.raises(ValueError):
+            Measurements().timeline_with_errors(0)
+
+    def test_timeline_with_errors_empty(self):
+        assert Measurements().timeline_with_errors(1.0) == []
+
+
 class TestSla:
     def make_measurements(self, latencies, spacing=0.1):
         m = Measurements()
