@@ -15,25 +15,31 @@ both come down to read repair.  This example makes the mechanism visible:
 Run:  python examples/read_repair_demo.py
 """
 
-from repro.cassandra import (
-    CassandraCluster,
-    CassandraSession,
-    CassandraSpec,
+from dataclasses import replace
+
+from repro.core import (
+    CassandraConfig,
+    ExperimentConfig,
+    ExperimentSession,
 )
-from repro.cluster import Cluster, ClusterSpec
 from repro.keyspace import key_for_index
 from repro.core.report import render_table
-from repro.sim import Environment, RngRegistry
+from repro.ycsb.workload import STRESS_WORKLOADS
 
 
 def build(read_repair_chance: float, blocking: bool, seed: int = 7):
-    env = Environment()
-    cluster = Cluster(env, ClusterSpec(n_nodes=8), RngRegistry(seed))
-    cassandra = CassandraCluster(cluster, CassandraSpec(
-        replication=3, read_repair_chance=read_repair_chance,
-        blocking_read_repair=blocking))
-    session = CassandraSession(cassandra, cassandra.client_node)
-    return env, cassandra, session
+    """Deploy through the shared config path (same as the CLI campaigns),
+    overriding only the read-repair knobs under study."""
+    config = ExperimentConfig(
+        db="cassandra",
+        workload=STRESS_WORKLOADS["read_mostly"],
+        record_count=1_000, operation_count=1_000,
+        n_nodes=8, seed=seed,
+        cassandra=replace(CassandraConfig(replication=3),
+                          read_repair_chance=read_repair_chance,
+                          blocking_read_repair=blocking))
+    experiment = ExperimentSession(config)
+    return experiment.env, experiment.cassandra, experiment.cassandra_session
 
 
 def show_divergence_and_repair() -> None:

@@ -8,7 +8,8 @@ from repro.cassandra.consistency import ConsistencyLevel
 from repro.cassandra.coordinator import ReadTimeoutError, WriteTimeoutError
 from repro.cassandra.deployment import CassandraCluster
 from repro.cluster.node import Node
-from repro.cluster.topology import DeadNodeError, RpcTimeout
+from repro.cluster.topology import DeadlineExceeded, DeadNodeError, RpcTimeout
+from repro.sim.resources import Overloaded
 
 __all__ = ["CassandraSession"]
 
@@ -16,10 +17,13 @@ __all__ = ["CassandraSession"]
 #: never have reached the ring (coordinator died) or timed out waiting on
 #: a replica that a healthier coordinator can route around.  All paper
 #: operations are timestamped upserts, so the retry is idempotent.
-#: ``UnavailableError`` is *not* here — it is a definitive answer (too few
-#: live replicas for the CL) that no coordinator choice can fix.
+#: ``Overloaded`` (a shed request) retries against the next host too —
+#: but under cluster-wide overload the final attempt's shed surfaces to
+#: the caller under its own name.  ``UnavailableError`` is *not* here —
+#: it is a definitive answer (too few live replicas for the CL) that no
+#: coordinator choice can fix.
 RETRYABLE_ERRORS = (RpcTimeout, DeadNodeError,
-                    ReadTimeoutError, WriteTimeoutError)
+                    ReadTimeoutError, WriteTimeoutError, Overloaded)
 
 
 class CassandraSession:
@@ -35,13 +39,20 @@ class CassandraSession:
                  write_cl: ConsistencyLevel = ConsistencyLevel.ONE,
                  op_timeout_s: float = 10.0,
                  dc_aware: bool = True,
-                 retries: int = 1) -> None:
+                 retries: int = 1,
+                 deadline_s: Optional[float] = None) -> None:
         self.cassandra = cassandra
         self.cluster = cassandra.cluster
         self.client_node = client_node
         self.read_cl = read_cl
         self.write_cl = write_cl
         self.op_timeout_s = op_timeout_s
+        #: End-to-end per-operation budget.  The absolute deadline rides
+        #: the request envelope to the coordinator and its replica RPCs;
+        #: once spent, queued replica work is withdrawn and the op fails
+        #: with :class:`DeadlineExceeded` (never retried — the budget
+        #: covers retries too).  ``None`` = no deadline propagation.
+        self.deadline_s = deadline_s
         #: Extra attempts on :data:`RETRYABLE_ERRORS`, each against the
         #: next round-robin coordinator (the DataStax driver's default
         #: RetryPolicy next-host behaviour).
@@ -70,8 +81,15 @@ class CassandraSession:
                 return node
         raise DeadNodeError("no live Cassandra coordinator")
 
+    def _op_deadline(self) -> Optional[float]:
+        """Absolute deadline for an operation starting now (incl. retries)."""
+        if self.deadline_s is None:
+            return None
+        return self.cluster.env.now + self.deadline_s
+
     def _call(self, handler: str, make_payload, request_bytes: int,
-              response_bytes: int) -> Generator:
+              response_bytes: int,
+              deadline: Optional[float] = None) -> Generator:
         """One coordinator RPC, retried per the session's retry policy.
 
         ``make_payload`` is re-evaluated per attempt so write timestamps
@@ -84,7 +102,11 @@ class CassandraSession:
                     self.client_node, coordinator, handler, make_payload(),
                     request_bytes=request_bytes,
                     response_bytes=response_bytes,
-                    timeout=self.op_timeout_s)
+                    timeout=self.op_timeout_s, deadline=deadline)
+            except DeadlineExceeded:
+                # The op's end-to-end budget is spent; retrying cannot
+                # help (the deadline covers all attempts).
+                raise
             except RETRYABLE_ERRORS:
                 if attempt == self.retries:
                     raise
@@ -97,26 +119,33 @@ class CassandraSession:
                cl: Optional[ConsistencyLevel] = None) -> Generator:
         """Write one row at the session's (or given) write CL."""
         cl = cl or self.write_cl
+        deadline = self._op_deadline()
         result = yield from self._call(
             "c.coord_write",
-            lambda: (key, value, size, self.cluster.env.now, cl.value),
-            request_bytes=size + 80, response_bytes=20)
+            lambda: (key, value, size, self.cluster.env.now, cl.value,
+                     deadline),
+            request_bytes=size + 80, response_bytes=20, deadline=deadline)
         return result
 
     def read(self, key: str, expected_bytes: int = 1024,
              cl: Optional[ConsistencyLevel] = None) -> Generator:
         """Read one row; returns ``(value, timestamp)`` or None."""
         cl = cl or self.read_cl
+        deadline = self._op_deadline()
         result = yield from self._call(
-            "c.coord_read", lambda: (key, cl.value, expected_bytes),
-            request_bytes=70, response_bytes=expected_bytes + 30)
+            "c.coord_read", lambda: (key, cl.value, expected_bytes, deadline),
+            request_bytes=70, response_bytes=expected_bytes + 30,
+            deadline=deadline)
         return result
 
     def scan(self, start_key: str, limit: int, record_bytes: int = 1024,
              cl: Optional[ConsistencyLevel] = None) -> Generator:
         """Token-order scan from ``start_key``."""
         cl = cl or self.read_cl
+        deadline = self._op_deadline()
         rows = yield from self._call(
-            "c.coord_scan", lambda: (start_key, limit, cl.value, record_bytes),
-            request_bytes=80, response_bytes=record_bytes * limit)
+            "c.coord_scan",
+            lambda: (start_key, limit, cl.value, record_bytes, deadline),
+            request_bytes=80, response_bytes=record_bytes * limit,
+            deadline=deadline)
         return rows

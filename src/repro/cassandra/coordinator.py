@@ -29,7 +29,11 @@ from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.cassandra.consistency import ConsistencyLevel, UnavailableError
 from repro.cassandra.hints import Hint
-from repro.sim.kernel import AllOf, Environment, Event, Process
+from repro.cluster.hedging import HedgePolicy
+from repro.cluster.topology import DeadlineExceeded, RpcTimeout
+from repro.sim.kernel import (AllOf, AnyOf, Environment, Event, Interrupt,
+                              Process)
+from repro.sim.resources import Overloaded
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cassandra.node import CassandraNode
@@ -97,7 +101,16 @@ class Coordinator:
         self._rng = rng
         self.stats = {"writes": 0, "reads": 0, "scans": 0,
                       "read_repairs": 0, "repair_mutations": 0,
-                      "hints_stored": 0, "background_repairs": 0}
+                      "hints_stored": 0, "background_repairs": 0,
+                      "hedged_reads": 0, "hedge_wins": 0,
+                      "admission_sheds": 0}
+        spec = owner.spec
+        #: Admission control: max coordinated ops in flight on this node.
+        self.max_inflight = getattr(spec, "coordinator_max_inflight", None)
+        self.inflight = 0
+        retry = getattr(spec, "speculative_retry", None)
+        #: Rapid read protection (speculative_retry); ``None`` = off.
+        self.hedge = HedgePolicy(retry) if retry else None
 
     # -- plumbing --------------------------------------------------------
 
@@ -105,32 +118,57 @@ class Coordinator:
     def env(self) -> Environment:
         return self.owner.node.env
 
+    def _admit(self) -> None:
+        """Coordinator-side admission control (raises before any work)."""
+        if self.max_inflight is not None \
+                and self.inflight >= self.max_inflight:
+            self.stats["admission_sheds"] += 1
+            raise Overloaded(
+                f"coordinator {self.owner.node.node_id} at max in-flight "
+                f"({self.max_inflight})")
+
+    def _local_catching(self, gen) -> Generator:
+        # Local fast-path procs follow the same convention as the RPC
+        # fan-out helpers: failures (shed queue, expired deadline, hedge
+        # cancellation) become values, never kernel-crashing raises.
+        try:
+            result = yield from gen
+            return result
+        except (RpcTimeout, Overloaded, Interrupt) as exc:
+            return exc
+
     def _replica_mutate(self, replica_id: int, key: str, value, size: int,
-                        timestamp: float) -> Process:
+                        timestamp: float,
+                        deadline: Optional[float] = None) -> Process:
         """Send a mutation to one replica (local fast path when self)."""
         owner = self.owner
         if replica_id == owner.node.node_id:
             return self.env.process(
-                owner.local_mutate(key, value, size, timestamp),
+                self._local_catching(
+                    owner.local_mutate(key, value, size, timestamp,
+                                       deadline)),
                 name="local-mutate")
         return owner.cluster.call_async(
             owner.node, owner.cluster.node(replica_id), "c.mutate",
-            (key, value, size, timestamp), request_bytes=size + 60,
-            response_bytes=20, timeout=owner.spec.replica_timeout_s)
+            (key, value, size, timestamp, deadline), request_bytes=size + 60,
+            response_bytes=20, timeout=owner.spec.replica_timeout_s,
+            deadline=deadline)
 
     def _replica_read(self, replica_id: int, key: str, expected_bytes: int,
-                      digest: bool) -> Process:
+                      digest: bool,
+                      deadline: Optional[float] = None) -> Process:
         owner = self.owner
         if replica_id == owner.node.node_id:
-            gen = (owner.local_read_digest(key) if digest
-                   else owner.local_read_data(key))
-            return self.env.process(gen, name="local-read")
+            gen = (owner.local_read_digest(key, deadline) if digest
+                   else owner.local_read_data(key, deadline))
+            return self.env.process(self._local_catching(gen),
+                                    name="local-read")
         verb = "c.read_digest" if digest else "c.read_data"
         return owner.cluster.call_async(
-            owner.node, owner.cluster.node(replica_id), verb, key,
-            request_bytes=60,
+            owner.node, owner.cluster.node(replica_id), verb,
+            (key, deadline), request_bytes=60,
             response_bytes=16 if digest else expected_bytes + 30,
-            timeout=owner.spec.replica_timeout_s)
+            timeout=owner.spec.replica_timeout_s, deadline=deadline)
 
     def _alive_replicas(self, key: str) -> tuple[list[int], int]:
         """(alive replica ids in placement order, configured replication)."""
@@ -166,7 +204,17 @@ class Coordinator:
 
     def handle_write(self, payload) -> Generator:
         """Coordinate one write: fan out, wait for CL acks."""
-        key, value, size, timestamp, cl_name = payload
+        self._admit()
+        self.inflight += 1
+        try:
+            result = yield from self._write(payload)
+            return result
+        finally:
+            self.inflight -= 1
+
+    def _write(self, payload) -> Generator:
+        key, value, size, timestamp, cl_name, *rest = payload
+        deadline = rest[0] if rest else None
         cl = ConsistencyLevel(cl_name)
         self.stats["writes"] += 1
         yield from self.owner.node.cpu_work(_COORD_CPU_S)
@@ -179,7 +227,8 @@ class Coordinator:
         # Mutations go to every live replica; only the ack wait differs.
         # For LOCAL_* levels only acks from the coordinator's datacenter
         # (the first ``ack_pool`` candidates) satisfy the level.
-        acks = [self._replica_mutate(r, key, value, size, timestamp)
+        acks = [self._replica_mutate(r, key, value, size, timestamp,
+                                     deadline=deadline)
                 for r in ordered]
         dead = [r for r in self.owner.placement.replicas_for_key(key)
                 if r not in alive]
@@ -187,16 +236,37 @@ class Coordinator:
             self.owner.hints.store(Hint(replica_id, key, value, size,
                                         timestamp))
             self.stats["hints_stored"] += 1
-        yield from wait_for_k(
-            self.env, acks[:ack_pool], required,
-            WriteTimeoutError(f"write {cl.value} got < {required} acks"))
+        try:
+            yield from wait_for_k(
+                self.env, acks[:ack_pool], required,
+                WriteTimeoutError(f"write {cl.value} got < {required} acks"))
+        except WriteTimeoutError:
+            # Keep the failure kind honest: when shed replicas alone made
+            # the level unreachable, the client sees the shed, not a
+            # generic timeout.
+            sheds = sum(1 for p in acks[:ack_pool]
+                        if p.processed and isinstance(p.value, Overloaded))
+            if sheds > ack_pool - required:
+                raise Overloaded(
+                    f"write {cl.value}: {sheds} replicas shed") from None
+            raise
         return True
 
     # -- read path -----------------------------------------------------
 
     def handle_read(self, payload) -> Generator:
         """Coordinate one read: data + digests, then maybe read repair."""
-        key, cl_name, expected_bytes = payload
+        self._admit()
+        self.inflight += 1
+        try:
+            result = yield from self._read(payload)
+            return result
+        finally:
+            self.inflight -= 1
+
+    def _read(self, payload) -> Generator:
+        key, cl_name, expected_bytes, *rest = payload
+        deadline = rest[0] if rest else None
         cl = ConsistencyLevel(cl_name)
         self.stats["reads"] += 1
         yield from self.owner.node.cpu_work(_COORD_CPU_S)
@@ -210,11 +280,15 @@ class Coordinator:
         repair_fires = (len(ordered) > required
                         and self._rng.random() < spec.read_repair_chance)
         involved = ordered if repair_fires else ordered[:required]
+        # Replicas not involved in this read are speculative-retry
+        # candidates — the "next-fastest" targets a hedge may duplicate
+        # the data read to.
+        spares = [r for r in ordered if r not in involved]
 
         data_proc = self._replica_read(involved[0], key, expected_bytes,
-                                       digest=False)
+                                       digest=False, deadline=deadline)
         digest_procs = [self._replica_read(r, key, expected_bytes,
-                                           digest=True)
+                                           digest=True, deadline=deadline)
                         for r in involved[1:]]
 
         # Cassandra 2.0 semantics: the response blocks on the consistency
@@ -224,10 +298,14 @@ class Coordinator:
         # client sees an answer.  ``blocking_read_repair=False`` (the
         # ablation) moves even that reconcile off the latency path.
         blocking_digests = required - 1
-        yield data_proc
-        data_resp = data_proc.value
+        data_resp, data_replica = yield from self._await_data(
+            data_proc, involved[0], key, expected_bytes, spares, deadline)
         if isinstance(data_resp, Exception):
-            raise ReadTimeoutError(f"data read on {involved[0]} failed")
+            # Sheds and spent budgets keep their kind; anything else
+            # (replica timeout, cancelled wait) is a read timeout.
+            if isinstance(data_resp, (Overloaded, DeadlineExceeded)):
+                raise data_resp
+            raise ReadTimeoutError(f"data read on {data_replica} failed")
         if blocking_digests:
             yield from wait_for_k(
                 self.env, digest_procs[:blocking_digests], blocking_digests,
@@ -251,7 +329,7 @@ class Coordinator:
         if async_procs:
             from repro.cassandra.read_repair import background_reconcile
             self.env.process(
-                background_reconcile(self, key, expected_bytes, involved[0],
+                background_reconcile(self, key, expected_bytes, data_replica,
                                      data_resp, async_replicas, async_procs),
                 name="background-read-repair")
 
@@ -262,9 +340,65 @@ class Coordinator:
         # Reconcile: full reads from the digest replicas, newest wins.
         self.stats["read_repairs"] += 1
         result = yield from self._reconcile(
-            key, expected_bytes, involved[0], data_resp,
+            key, expected_bytes, data_replica, data_resp,
             [r for r, _ in digests], blocking=spec.blocking_read_repair)
         return result
+
+    def _await_data(self, proc: Process, replica: int, key: str,
+                    expected_bytes: int, spares: list[int],
+                    deadline: Optional[float]) -> Generator:
+        """Wait for the full data read, hedging to a spare when slow.
+
+        Models Cassandra 2.0.2's rapid read protection: once the
+        configured delay elapses without a primary response, the data
+        read is duplicated to the next-fastest alive replica and the
+        first *successful* response wins; the loser is interrupted (its
+        caller-side wait is cancelled — the in-flight work drains
+        server-side, where an attached deadline reclaims its queue slot).
+        Returns ``(response, replica_id)``; the response is an Exception
+        value when every attempt failed.
+        """
+        start = self.env.now
+        hedge = self.hedge
+        delay = hedge.delay() if hedge is not None else None
+        if delay is None or not spares:
+            yield proc
+            if not isinstance(proc.value, Exception) and hedge is not None:
+                hedge.observe(self.env.now - start)
+            return proc.value, replica
+        timer = self.env.timeout(delay)
+        yield AnyOf(self.env, [proc, timer])
+        if proc.processed and not isinstance(proc.value, Exception):
+            hedge.observe(self.env.now - start)
+            return proc.value, replica
+        # Primary is straggling (or already failed): speculate.
+        hedge.hedges += 1
+        self.stats["hedged_reads"] += 1
+        spare = spares[0]
+        spare_proc = self._replica_read(spare, key, expected_bytes,
+                                        digest=False, deadline=deadline)
+        contenders = [(proc, replica), (spare_proc, spare)]
+        while True:
+            pending = [p for p, _ in contenders if not p.processed]
+            if len(pending) == len(contenders):
+                yield AnyOf(self.env, pending)
+                continue
+            winners = [(p, r) for p, r in contenders
+                       if p.processed and not isinstance(p.value, Exception)]
+            if winners:
+                win_proc, win_replica = winners[0]
+                if win_proc is spare_proc:
+                    hedge.wins += 1
+                    self.stats["hedge_wins"] += 1
+                loser = next(p for p, _ in contenders if p is not win_proc)
+                if loser.is_alive:
+                    loser.interrupt("hedge lost")
+                hedge.observe(self.env.now - start)
+                return win_proc.value, win_replica
+            if not pending:
+                # Both attempts failed; surface the primary's error.
+                return proc.value, replica
+            yield pending[0]
 
     def _reconcile(self, key: str, expected_bytes: int, data_replica: int,
                    data_resp, digest_replicas: list[int],
@@ -309,7 +443,17 @@ class Coordinator:
         which is why the paper finds all consistency levels performing
         closely on the scan workload (§4.3).
         """
-        start_key, limit, _cl_name, expected_bytes = payload
+        self._admit()
+        self.inflight += 1
+        try:
+            result = yield from self._scan(payload)
+            return result
+        finally:
+            self.inflight -= 1
+
+    def _scan(self, payload) -> Generator:
+        start_key, limit, _cl_name, expected_bytes, *rest = payload
+        deadline = rest[0] if rest else None
         self.stats["scans"] += 1
         yield from self.owner.node.cpu_work(_COORD_CPU_S)
         alive, _replication = self._alive_replicas(start_key)
@@ -318,11 +462,11 @@ class Coordinator:
         owner = self.owner
         main = alive[0]
         if main == owner.node.node_id:
-            rows = yield from owner._handle_scan((start_key, limit))
+            rows = yield from owner._handle_scan((start_key, limit, deadline))
             return rows
         rows = yield from owner.cluster.call(
             owner.node, owner.cluster.node(main), "c.scan",
-            (start_key, limit), request_bytes=70,
+            (start_key, limit, deadline), request_bytes=70,
             response_bytes=expected_bytes * limit,
-            timeout=owner.spec.replica_timeout_s)
+            timeout=owner.spec.replica_timeout_s, deadline=deadline)
         return rows

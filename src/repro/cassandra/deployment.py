@@ -33,6 +33,20 @@ class CassandraSpec:
     storage: StorageSpec = field(default_factory=StorageSpec)
     replica_timeout_s: float = 2.0
     hint_replay_interval_s: float = 1.0
+    #: Cassandra 2.0.2 rapid read protection (``speculative_retry``):
+    #: ``"NNms"`` or ``"pNN"``/``"NNpercentile"``; ``None`` disables it.
+    speculative_retry: Optional[str] = None
+    #: Concurrent replica-stage executions per node (concurrent_reads/
+    #: concurrent_writes analogue).  Only enforced when
+    #: ``max_handler_queue`` is set.
+    handler_slots: int = 16
+    #: Bounded replica-stage queue depth; requests beyond it are shed
+    #: with :class:`~repro.sim.resources.Overloaded`.  ``None`` =
+    #: unbounded (the pre-defense behaviour).
+    max_handler_queue: Optional[int] = None
+    #: Coordinator admission control: max in-flight coordinated ops per
+    #: node; ``None`` = unlimited.
+    coordinator_max_inflight: Optional[int] = None
     #: Geo deployments: datacenter name -> replicas in that datacenter
     #: (NetworkTopologyStrategy).  ``None`` = SimpleStrategy with
     #: ``replication`` over the whole ring.  Requires a cluster that

@@ -12,7 +12,9 @@ from repro.cassandra.coordinator import Coordinator
 from repro.cassandra.hints import HintStore
 from repro.cassandra.partitioner import TokenRing
 from repro.cluster.node import Node
-from repro.cluster.topology import Cluster
+from repro.cluster.topology import Cluster, DeadlineExceeded
+from repro.sim.kernel import AnyOf
+from repro.sim.resources import BoundedResource
 from repro.storage.lsm import LocalDiskMedium, LsmTree
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -39,6 +41,14 @@ class CassandraNode:
                             spec.storage, name=f"cassandra{node.node_id}")
         self.hints = HintStore(self, spec.hint_replay_interval_s)
         self.coordinator = Coordinator(self, rng)
+        #: Bounded replica-stage pool (concurrent_reads/writes analogue).
+        #: ``None`` when ``max_handler_queue`` is unset — the pre-defense
+        #: unbounded behaviour, so existing experiments are unchanged.
+        self.replica_pool: Optional[BoundedResource] = None
+        if spec.max_handler_queue is not None:
+            self.replica_pool = BoundedResource(
+                node.env, capacity=spec.handler_slots,
+                max_queue=spec.max_handler_queue)
         self.ops = {"mutate": 0, "read_data": 0, "read_digest": 0, "scan": 0}
         node.register("c.mutate", self._handle_mutate)
         node.register("c.read_data", self._handle_read_data)
@@ -48,55 +58,115 @@ class CassandraNode:
         node.register("c.coord_read", self.coordinator.handle_read)
         node.register("c.coord_scan", self.coordinator.handle_scan)
 
+    # -- replica-stage admission ---------------------------------------
+
+    def _acquire_slot(self, deadline: Optional[float]) -> Generator:
+        """Claim a replica-stage slot (or ``None`` when pools are off).
+
+        Raises :class:`~repro.sim.resources.Overloaded` synchronously when
+        the bounded queue is full; when the request's propagated deadline
+        expires while still queued, the slot claim is withdrawn (lazy
+        deletion) and :class:`DeadlineExceeded` is raised — the queued
+        work never runs.
+        """
+        pool = self.replica_pool
+        if pool is None:
+            return None
+        req = pool.request()
+        if req.triggered:
+            return req
+        if deadline is None:
+            yield req
+            return req
+        remaining = deadline - self.node.env.now
+        if remaining <= 0:
+            req.cancel()
+            raise DeadlineExceeded("deadline spent before replica queue")
+        timer = self.node.env.timeout(remaining)
+        outcome = yield AnyOf(self.node.env, [req, timer])
+        if req in outcome:
+            return req
+        req.cancel()
+        raise DeadlineExceeded("deadline expired in replica queue")
+
+    def _release_slot(self, slot) -> None:
+        if slot is not None:
+            self.replica_pool.release(slot)
+
     # -- replica verbs -------------------------------------------------
 
     def _handle_mutate(self, payload) -> Generator:
         """Apply one mutation: commit log + memtable."""
-        key, value, size, timestamp = payload
+        key, value, size, timestamp, *rest = payload
+        deadline = rest[0] if rest else None
         self.ops["mutate"] += 1
-        yield from self.node.cpu_work(_VERB_CPU_S)
-        yield from self.tree.put(key, value, size, timestamp)
+        slot = yield from self._acquire_slot(deadline)
+        try:
+            yield from self.node.cpu_work(_VERB_CPU_S)
+            yield from self.tree.put(key, value, size, timestamp)
+        finally:
+            self._release_slot(slot)
         return True
 
-    def _handle_read_data(self, key: str) -> Generator:
+    def _handle_read_data(self, payload) -> Generator:
         """Full read: returns ``(value, timestamp)`` or None."""
+        key, deadline = (payload if isinstance(payload, tuple)
+                         else (payload, None))
         self.ops["read_data"] += 1
-        yield from self.node.cpu_work(_VERB_CPU_S)
-        result = yield from self.tree.get(key)
+        slot = yield from self._acquire_slot(deadline)
+        try:
+            yield from self.node.cpu_work(_VERB_CPU_S)
+            result = yield from self.tree.get(key)
+        finally:
+            self._release_slot(slot)
         return result
 
-    def _handle_read_digest(self, key: str) -> Generator:
+    def _handle_read_digest(self, payload) -> Generator:
         """Digest read: same local I/O as a data read, tiny response.
 
         The digest is modelled as the newest local timestamp — two
         replicas' digests match exactly when their newest versions match.
         """
+        key, deadline = (payload if isinstance(payload, tuple)
+                         else (payload, None))
         self.ops["read_digest"] += 1
-        yield from self.node.cpu_work(_VERB_CPU_S)
-        result = yield from self.tree.get(key)
+        slot = yield from self._acquire_slot(deadline)
+        try:
+            yield from self.node.cpu_work(_VERB_CPU_S)
+            result = yield from self.tree.get(key)
+        finally:
+            self._release_slot(slot)
         return None if result is None else result[1]
 
     def _handle_scan(self, payload) -> Generator:
         """Token-order scan over this node's local range."""
-        start_key, limit = payload
+        start_key, limit, *rest = payload
+        deadline = rest[0] if rest else None
         self.ops["scan"] += 1
-        yield from self.node.cpu_work(_VERB_CPU_S)
-        rows = yield from self.tree.scan(start_key, limit)
+        slot = yield from self._acquire_slot(deadline)
+        try:
+            yield from self.node.cpu_work(_VERB_CPU_S)
+            rows = yield from self.tree.scan(start_key, limit)
+        finally:
+            self._release_slot(slot)
         return rows
 
     # -- local fast paths (coordinator == replica) -----------------------
 
-    def local_mutate(self, key: str, value, size: int,
-                     timestamp: float) -> Generator:
-        result = yield from self._handle_mutate((key, value, size, timestamp))
+    def local_mutate(self, key: str, value, size: int, timestamp: float,
+                     deadline: Optional[float] = None) -> Generator:
+        result = yield from self._handle_mutate(
+            (key, value, size, timestamp, deadline))
         return result
 
-    def local_read_data(self, key: str) -> Generator:
-        result = yield from self._handle_read_data(key)
+    def local_read_data(self, key: str,
+                        deadline: Optional[float] = None) -> Generator:
+        result = yield from self._handle_read_data((key, deadline))
         return result
 
-    def local_read_digest(self, key: str) -> Generator:
-        result = yield from self._handle_read_digest(key)
+    def local_read_digest(self, key: str,
+                          deadline: Optional[float] = None) -> Generator:
+        result = yield from self._handle_read_digest((key, deadline))
         return result
 
     def newest_timestamp(self, key: str) -> Optional[float]:

@@ -123,6 +123,9 @@ class GeoCluster:
 
         self.network = _GeoNetwork(env, self, rngs.stream("geo.network"))
         self.rpc_count = 0
+        #: Requests whose propagated deadline expired before the server
+        #: started them (see :class:`repro.cluster.topology.Cluster`).
+        self.abandoned_rpcs = 0
 
     # -- Cluster API compatibility ----------------------------------------
 
@@ -167,26 +170,29 @@ class GeoCluster:
     # -- RPC (same protocol as Cluster) ---------------------------------
 
     def _rpc_body(self, src, dst, verb, payload, request_bytes,
-                  response_bytes):
+                  response_bytes, deadline=None):
         from repro.cluster.topology import Cluster
         return Cluster._rpc_body(self, src, dst, verb, payload,
-                                 request_bytes, response_bytes)
+                                 request_bytes, response_bytes, deadline)
 
     def call(self, src, dst, verb, payload=None, request_bytes=0,
-             response_bytes=0, timeout: Optional[float] = None):
+             response_bytes=0, timeout: Optional[float] = None,
+             deadline: Optional[float] = None):
         from repro.cluster.topology import Cluster
         return Cluster.call(self, src, dst, verb, payload, request_bytes,
-                            response_bytes, timeout)
+                            response_bytes, timeout, deadline)
 
     def call_async(self, src, dst, verb, payload=None, request_bytes=0,
-                   response_bytes=0, timeout: Optional[float] = None):
+                   response_bytes=0, timeout: Optional[float] = None,
+                   deadline: Optional[float] = None):
         from repro.cluster.topology import Cluster
         return Cluster.call_async(self, src, dst, verb, payload,
-                                  request_bytes, response_bytes, timeout)
+                                  request_bytes, response_bytes, timeout,
+                                  deadline)
 
     def _call_catching(self, src, dst, verb, payload, request_bytes,
-                       response_bytes, timeout):
+                       response_bytes, timeout, deadline=None):
         from repro.cluster.topology import Cluster
         return Cluster._call_catching(self, src, dst, verb, payload,
                                       request_bytes, response_bytes,
-                                      timeout)
+                                      timeout, deadline)

@@ -8,7 +8,14 @@ database models need:
 - both sides pay a small fixed CPU cost (kernel + (de)serialization),
 - calls to a dead node never produce a response — the caller either
   times out (:class:`RpcTimeout`) or, with no timeout configured, fails
-  fast with :class:`DeadNodeError` to avoid deadlocking the simulation.
+  fast with :class:`DeadNodeError` to avoid deadlocking the simulation,
+- an optional **deadline** (absolute simulation time) rides the request
+  envelope: a request that *arrives* after its deadline is abandoned
+  before the handler runs (the callee computes nothing a caller will
+  never read), and the caller observes :class:`DeadlineExceeded` the
+  moment the budget runs out.  Handlers that queue behind bounded
+  resources receive the deadline too (see the database models) and
+  withdraw their queue slot when it expires.
 """
 
 from __future__ import annotations
@@ -18,17 +25,33 @@ from typing import Any, Generator, Optional
 
 from repro.cluster.nic import Network, NetworkSpec
 from repro.cluster.node import Node, NodeSpec
-from repro.sim.kernel import AnyOf, Environment, Process
+from repro.sim.kernel import AnyOf, Environment, Interrupt, Process
+from repro.sim.resources import Overloaded
 from repro.sim.rng import RngRegistry
 
-__all__ = ["Cluster", "ClusterSpec", "DeadNodeError", "RpcTimeout"]
+__all__ = ["Cluster", "ClusterSpec", "DeadNodeError", "DeadlineExceeded",
+           "RpcTimeout"]
 
 #: Sentinel response meaning "the callee was dead; no response will come".
 _NO_RESPONSE = object()
 
+#: Sentinel response meaning "the request arrived after its deadline and
+#: was abandoned server-side; no useful response exists".
+_EXPIRED = object()
+
 
 class RpcTimeout(Exception):
     """An RPC did not complete within its deadline."""
+
+
+class DeadlineExceeded(RpcTimeout):
+    """The operation's propagated deadline expired before it completed.
+
+    Subclasses :class:`RpcTimeout` so every existing timeout-handling
+    path (driver retries, fan-out helpers, error accounting) treats it
+    as a timeout — but the distinct type shows up in
+    ``errors_by_type`` breakdowns.
+    """
 
 
 class DeadNodeError(Exception):
@@ -63,6 +86,9 @@ class Cluster:
             for i in range(spec.n_nodes)
         ]
         self.rpc_count = 0
+        #: Requests that arrived at the callee after their deadline and
+        #: were abandoned before the handler ran.
+        self.abandoned_rpcs = 0
 
     def node(self, node_id: int) -> Node:
         return self.nodes[node_id]
@@ -78,13 +104,20 @@ class Cluster:
     # -- RPC -----------------------------------------------------------
 
     def _rpc_body(self, src: Node, dst: Node, verb: str, payload: Any,
-                  request_bytes: int, response_bytes: int) -> Generator:
+                  request_bytes: int, response_bytes: int,
+                  deadline: Optional[float] = None) -> Generator:
         envelope = self.spec.envelope_bytes
         yield from src.cpu_work(self.spec.rpc_cpu_s)
         yield from self.network.transit(src.nic, dst.nic,
                                         request_bytes + envelope)
         if not dst.alive:
             return _NO_RESPONSE
+        if deadline is not None and self.env.now >= deadline:
+            # Deadline propagation: the budget is already spent when the
+            # request arrives, so the callee drops it without computing a
+            # result nobody will read (the caller's own timer fires).
+            self.abandoned_rpcs += 1
+            return _EXPIRED
         yield from dst.cpu_work(self.spec.rpc_cpu_s)
         handler = dst.handlers.get(verb)
         if handler is None:
@@ -99,15 +132,28 @@ class Cluster:
 
     def call(self, src: Node, dst: Node, verb: str, payload: Any = None,
              request_bytes: int = 0, response_bytes: int = 0,
-             timeout: Optional[float] = None) -> Generator:
+             timeout: Optional[float] = None,
+             deadline: Optional[float] = None) -> Generator:
         """Perform an RPC from the calling process (``yield from`` this).
 
         Returns the handler's return value.  Raises :class:`RpcTimeout`
-        when ``timeout`` elapses first, or :class:`DeadNodeError` when the
-        callee is dead and no timeout was given.
+        when ``timeout`` elapses first, :class:`DeadlineExceeded` when the
+        absolute ``deadline`` passes first, or :class:`DeadNodeError`
+        when the callee is dead and neither bound was given.
         """
         self.rpc_count += 1
-        if timeout is None:
+        if deadline is not None and self.env.now >= deadline:
+            raise DeadlineExceeded(
+                f"rpc {verb!r} to node {dst.node_id}: deadline already "
+                f"passed before send")
+        wait_s = timeout
+        deadline_first = False
+        if deadline is not None:
+            remaining = deadline - self.env.now
+            if wait_s is None or remaining < wait_s:
+                wait_s = remaining
+                deadline_first = True
+        if wait_s is None:
             result = yield from self._rpc_body(
                 src, dst, verb, payload, request_bytes, response_bytes)
             if result is _NO_RESPONSE:
@@ -116,21 +162,37 @@ class Cluster:
             return result
         body = self.env.process(
             self._rpc_body(src, dst, verb, payload, request_bytes,
-                           response_bytes),
+                           response_bytes, deadline=deadline),
             name=f"rpc-{verb}-{dst.node_id}")
-        deadline = self.env.timeout(timeout)
-        outcome = yield AnyOf(self.env, [body, deadline])
-        if body in outcome and outcome[body] is not _NO_RESPONSE:
+        timer = self.env.timeout(wait_s)
+        race = AnyOf(self.env, [body, timer])
+        try:
+            outcome = yield race
+        except Interrupt:
+            # Hedge-loser cancellation: the caller abandoned this RPC.
+            # The in-flight body keeps running server-side (cancellation
+            # does not reach over the wire), so defuse both the race and
+            # the body lest a late handler failure crash the kernel.
+            race.defuse()
+            body.defuse()
+            raise
+        if body in outcome and outcome[body] is not _NO_RESPONSE \
+                and outcome[body] is not _EXPIRED:
             return outcome[body]
         if body in outcome:
-            # The callee was dead: model the client waiting out its timer.
-            yield deadline
+            # Dead callee or server-side abandonment: the caller still
+            # waits out its own timer before giving up.
+            yield timer
+        if deadline_first:
+            raise DeadlineExceeded(
+                f"rpc {verb!r} to node {dst.node_id} exceeded its deadline")
         raise RpcTimeout(f"rpc {verb!r} to node {dst.node_id} timed out "
                          f"after {timeout}s")
 
     def call_async(self, src: Node, dst: Node, verb: str, payload: Any = None,
                    request_bytes: int = 0, response_bytes: int = 0,
-                   timeout: Optional[float] = None) -> Process:
+                   timeout: Optional[float] = None,
+                   deadline: Optional[float] = None) -> Process:
         """Like :meth:`call` but returns a :class:`Process` to wait on.
 
         Use for fan-out:  fire several calls, then ``yield AllOf(...)`` /
@@ -138,18 +200,20 @@ class Cluster:
         """
         return self.env.process(
             self._call_catching(src, dst, verb, payload, request_bytes,
-                                response_bytes, timeout),
+                                response_bytes, timeout, deadline),
             name=f"rpc-async-{verb}-{dst.node_id}")
 
     def _call_catching(self, src: Node, dst: Node, verb: str, payload: Any,
                        request_bytes: int, response_bytes: int,
-                       timeout: Optional[float]) -> Generator:
+                       timeout: Optional[float],
+                       deadline: Optional[float] = None) -> Generator:
         # Fan-out helpers must not fail the whole condition when a single
-        # callee is dead or slow, so convert failures into values.
+        # callee is dead, slow, out of budget or shedding load, so convert
+        # failures into values.
         try:
             result = yield from self.call(src, dst, verb, payload,
                                           request_bytes, response_bytes,
-                                          timeout)
+                                          timeout, deadline)
             return result
-        except (RpcTimeout, DeadNodeError) as exc:
+        except (RpcTimeout, DeadNodeError, Overloaded, Interrupt) as exc:
             return exc

@@ -23,17 +23,23 @@ from repro.core.report import (
     render_progress,
     render_stress_sweep,
     render_table,
+    render_tail_sweep,
 )
 from repro.core.runner import CellRunner, default_cache_dir
 from repro.core.sweep import (
     QUICK_FAILOVER_SCALE,
     QUICK_SCALE,
+    QUICK_TAIL_SCALE,
+    TAIL_MODES,
+    TAIL_SCENARIOS,
     FailoverScale,
     SweepScale,
+    TailScale,
     consistency_stress_sweep,
     failover_sweep,
     replication_micro_sweep,
     replication_stress_sweep,
+    tail_sweep,
 )
 from repro.ycsb.workload import STRESS_WORKLOADS
 
@@ -123,6 +129,18 @@ def cmd_failover(args) -> int:
     return 0
 
 
+def cmd_tail(args) -> int:
+    scale = QUICK_TAIL_SCALE if args.quick else TailScale()
+    modes = args.modes or list(TAIL_MODES)
+    scenarios = args.scenarios or list(TAIL_SCENARIOS)
+    for db in args.dbs:
+        sweep = tail_sweep(db, scale, modes=modes, scenarios=scenarios,
+                           runner=_runner(args))
+        print(render_tail_sweep(db, sweep))
+        print()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -174,6 +192,28 @@ def build_parser() -> argparse.ArgumentParser:
                             help="recompute every cell instead of reusing "
                                  f"the cell cache ({default_cache_dir()})")
     p_failover.set_defaults(func=cmd_failover)
+
+    p_tail = sub.add_parser(
+        "tail", help="tail-latency defense campaign (deadlines, hedged "
+                     "reads, bounded queues)")
+    p_tail.add_argument("--quick", action="store_true",
+                        help="small scale for fast runs")
+    p_tail.add_argument("--db", dest="dbs", action="append",
+                        choices=["hbase", "cassandra"],
+                        help="database(s) to run (default: both)")
+    p_tail.add_argument("--mode", dest="modes", action="append",
+                        choices=list(TAIL_MODES),
+                        help="defense stack(s) to compare (default: all)")
+    p_tail.add_argument("--scenario", dest="scenarios", action="append",
+                        choices=list(TAIL_SCENARIOS),
+                        help="stress scenario(s) to run (default: both)")
+    p_tail.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run campaign cells across N worker processes "
+                             "(0 = one per CPU core)")
+    p_tail.add_argument("--no-cache", action="store_true",
+                        help="recompute every cell instead of reusing "
+                             f"the cell cache ({default_cache_dir()})")
+    p_tail.set_defaults(func=cmd_tail)
     return parser
 
 
@@ -181,7 +221,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if (getattr(args, "dbs", None) is None
-            and args.command in ("fig1", "fig2", "failover")):
+            and args.command in ("fig1", "fig2", "failover", "tail")):
         args.dbs = ["hbase", "cassandra"]
     if getattr(args, "faults", None) is None and args.command == "failover":
         args.faults = ["crash"]

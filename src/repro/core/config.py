@@ -16,11 +16,39 @@ __all__ = [
     "CassandraConfig",
     "ExperimentConfig",
     "HBaseConfig",
+    "TailDefenseConfig",
     "config_to_dict",
     "config_to_json",
     "default_micro_config",
     "default_stress_config",
 ]
+
+
+@dataclass(frozen=True)
+class TailDefenseConfig:
+    """Tail-latency defense knobs, shared by both database models.
+
+    The all-defaults instance is a no-op (no deadline, no hedging,
+    unbounded queues) — the pre-defense behaviour every other sweep runs
+    with.
+    """
+
+    #: End-to-end per-operation budget in seconds (covers client
+    #: retries); the absolute deadline rides every RPC so replica-side
+    #: work is abandoned once the budget is spent.  ``None`` = off.
+    deadline_s: Optional[float] = None
+    #: Speculative retry (hedged reads): ``"NNms"`` fixed delay or
+    #: ``"pNN"`` latency percentile.  ``None`` = off.
+    hedge: Optional[str] = None
+    #: Concurrent server-side handler executions per node; only enforced
+    #: when ``max_handler_queue`` is set.
+    handler_slots: int = 16
+    #: Bounded server-side queue depth — beyond it requests are shed
+    #: with an explicit ``Overloaded`` error.  ``None`` = unbounded.
+    max_handler_queue: Optional[int] = None
+    #: Coordinator admission control (Cassandra): max in-flight
+    #: coordinated ops per node.  ``None`` = unlimited.
+    max_inflight: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -68,6 +96,9 @@ class ExperimentConfig:
     hbase: HBaseConfig = field(default_factory=HBaseConfig)
     cassandra: CassandraConfig = field(default_factory=CassandraConfig)
     storage: StorageSpec = field(default_factory=StorageSpec)
+    #: Tail-latency defenses (deadline propagation, hedged reads,
+    #: bounded queues + shedding).  Defaults to all-off.
+    tail: TailDefenseConfig = field(default_factory=TailDefenseConfig)
     #: Declarative fault schedule for this cell (``at_s`` relative to the
     #: start of each measured run).  Only armed when the caller runs the
     #: cell with fault injection enabled, so the same config can serve

@@ -48,10 +48,15 @@ def summarize_run(result: "RunResult") -> dict:
         "workload": result.workload,
         "target": result.target_throughput,
         "mean_ms": overall.mean_ms,
+        "p50_ms": overall.p50 * 1000.0,
+        "p95_ms": overall.p95 * 1000.0,
         "p99_ms": overall.p99_ms,
+        "p999_ms": overall.p999_ms,
         "throughput": result.throughput,
         "ops": overall.count,
         "errors": overall.errors,
+        "errors_by_type": dict(
+            sorted(result.measurements.errors_by_type.items())),
     }
     if result.failover is not None:
         summary["failover"] = result.failover
@@ -84,6 +89,7 @@ class ExperimentSession:
         self.cassandra: Optional[CassandraCluster] = None
         self._session: Optional[CassandraSession] = None
 
+        tail = config.tail
         if config.db == "hbase":
             hc = config.hbase
             self.hbase = HBaseCluster(self.cluster, HBaseSpec(
@@ -93,9 +99,14 @@ class ExperimentSession:
                 wal_sync=hc.wal_sync,
                 failure_detection_s=hc.failure_detection_s,
                 region_recovery_s=hc.region_recovery_s,
+                handler_slots=tail.handler_slots,
+                max_handler_queue=tail.max_handler_queue,
             ))
             self.binding: DbBinding = HBaseBinding(
-                HBaseClient(self.hbase, self.client_node))
+                HBaseClient(self.hbase, self.client_node,
+                            rng=self.rngs.stream("hbase.client.backoff"),
+                            speculative_retry=tail.hedge,
+                            deadline_s=tail.deadline_s))
         else:
             cc = config.cassandra
             self.cassandra = CassandraCluster(self.cluster, CassandraSpec(
@@ -104,11 +115,24 @@ class ExperimentSession:
                 read_repair_chance=cc.read_repair_chance,
                 blocking_read_repair=cc.blocking_read_repair,
                 storage=config.storage,
+                speculative_retry=tail.hedge,
+                handler_slots=tail.handler_slots,
+                max_handler_queue=tail.max_handler_queue,
+                coordinator_max_inflight=tail.max_inflight,
             ))
             self._session = CassandraSession(
                 self.cassandra, self.client_node,
-                read_cl=cc.read_cl, write_cl=cc.write_cl)
+                read_cl=cc.read_cl, write_cl=cc.write_cl,
+                deadline_s=tail.deadline_s)
             self.binding = CassandraBinding(self._session)
+
+    @property
+    def cassandra_session(self) -> CassandraSession:
+        """The driver session of a Cassandra deployment (for examples and
+        probes that drive operations outside the YCSB client)."""
+        if self._session is None:
+            raise ValueError("not a Cassandra deployment")
+        return self._session
 
     def _new_workload(self, spec: WorkloadSpec) -> Workload:
         return Workload(spec, self.config.record_count,

@@ -7,7 +7,7 @@ from typing import Optional, Sequence
 __all__ = ["render_consistency_sweep", "render_failover_sweep",
            "render_failover_timeline", "render_micro_sweep",
            "render_progress", "render_series", "render_stress_sweep",
-           "render_table"]
+           "render_table", "render_tail_sweep"]
 
 
 def render_progress(event, completed: Optional[int] = None) -> str:
@@ -127,6 +127,43 @@ def render_failover_timeline(label: str, report: dict) -> str:
         lines.append(f"{start:8.1f}  {ops:6d}  {mean_ms:8.2f}  "
                      f"{errors:6d}{marker}")
     return "\n".join(lines)
+
+
+#: ``errors_by_type`` names folded into the tail table's "timeout"
+#: column (a spent budget gets its own column; everything else is
+#: lumped under "other").
+_TAIL_TIMEOUT_KINDS = ("RpcTimeout", "ReadTimeoutError", "WriteTimeoutError")
+
+
+def render_tail_sweep(db: str, sweep: dict) -> str:
+    """Tail-defense table, one row per (scenario, defense mode).
+
+    ``sweep`` is :func:`repro.core.sweep.tail_sweep` output.  Besides
+    the latency distribution up to p99.9 the table splits the error
+    count into shed requests (``Overloaded`` — a bounded queue or the
+    coordinator's admission control refusing work), spent end-to-end
+    budgets (``DeadlineExceeded``) and plain timeouts.
+    """
+    headers = ["scenario", "defense", "ops/s", "p50 ms", "p95 ms",
+               "p99 ms", "p99.9 ms", "errors", "shed", "deadline",
+               "timeout", "other"]
+    rows = []
+    for scenario in sweep:
+        for mode, summary in sweep[scenario].items():
+            by_type = summary.get("errors_by_type", {})
+            shed = by_type.get("Overloaded", 0)
+            spent = by_type.get("DeadlineExceeded", 0)
+            timeout = sum(by_type.get(kind, 0)
+                          for kind in _TAIL_TIMEOUT_KINDS)
+            other = summary["errors"] - shed - spent - timeout
+            rows.append([scenario, mode, summary["throughput"],
+                         summary["p50_ms"], summary["p95_ms"],
+                         summary["p99_ms"], summary["p999_ms"],
+                         summary["errors"], shed, spent, timeout, other])
+    return render_table(
+        headers, rows,
+        title=f"Tail-latency defenses ({db}): "
+              "latency distribution and error budget per defense stack")
 
 
 def render_consistency_sweep(sweep: dict) -> str:

@@ -53,7 +53,8 @@ __all__ = [
 ]
 
 #: Bump when the payload schema changes (invalidates every cached cell).
-RESULT_VERSION = "1"
+#: "2": summaries grew p50/p95/p99.9 and the errors_by_type breakdown.
+RESULT_VERSION = "2"
 
 #: Environment override for the cell-cache directory.
 CACHE_ENV_VAR = "REPRO_CELL_CACHE"

@@ -24,7 +24,8 @@ from typing import Optional, Sequence
 
 from repro.cassandra.consistency import ConsistencyLevel
 from repro.cluster.failure import FaultSpec
-from repro.core.config import (default_micro_config,
+from repro.core.config import (TailDefenseConfig,
+                               default_micro_config,
                                default_stress_config,
                                scaled_stress_storage)
 from repro.core.runner import CellRunner, CellSpec, RunSpec, WarmSpec
@@ -36,13 +37,20 @@ __all__ = [
     "FailoverScale",
     "MICRO_OP_ORDER",
     "QUICK_FAILOVER_SCALE",
+    "QUICK_TAIL_SCALE",
     "STRESS_WORKLOAD_ORDER",
     "SweepScale",
+    "TAIL_MODES",
+    "TAIL_SCENARIOS",
+    "TailScale",
     "consistency_stress_sweep",
     "failover_cells",
     "failover_sweep",
     "replication_micro_sweep",
     "replication_stress_sweep",
+    "tail_cells",
+    "tail_defense_for_mode",
+    "tail_sweep",
 ]
 
 #: §4.1: "the update/read/insert/scan test is run one after another".
@@ -302,6 +310,178 @@ def failover_sweep(db: str, fault_kinds: Sequence[str] = ("crash",),
     for cell, payload in zip(cells, _run(cells, runner)):
         kind, mode = cell.key
         out.setdefault(kind, {})[mode] = payload["runs"][0]
+    return out
+
+
+# -- Tail-latency defense campaigns: db x scenario x defense mode -----------
+
+#: Defense stacks in the order the campaign compares them: no defense,
+#: deadline propagation + bounded queues + admission control, and the
+#: same plus hedged reads.
+TAIL_MODES = ("none", "deadline", "hedge")
+
+#: The two stress scenarios the defenses are judged under: one
+#: gray-degraded replica under throttled load (hedging's home turf) and
+#: a uniformly overloaded cluster at full speed (where hedging cannot
+#: help and bounded queues must shed).
+TAIL_SCENARIOS = ("slow_replica", "overload")
+
+
+@dataclass(frozen=True)
+class TailScale:
+    """Scale knobs for tail-latency defense campaigns."""
+
+    record_count: int = 6_000
+    operation_count: int = 24_000
+    n_threads: int = 24
+    n_nodes: int = 8
+    #: Throttled offered load for the gray-fault scenario — low enough
+    #: that the healthy cluster meets it with slack, so the p99 spread
+    #: is unambiguously the slow replica's doing.
+    target_throughput: float = 2_000.0
+    #: The overload scenario instead runs unthrottled with this many
+    #: closed-loop threads — deliberately past the bounded queues' total
+    #: capacity, so shedding (not hedging) is the operative defense.
+    overload_threads: int = 96
+    overload_operations: int = 12_000
+    #: When the gray fault fires / how long it lasts, relative to the
+    #: measured run's start.
+    fault_at_s: float = 2.0
+    fault_duration_s: float = 8.0
+    #: Disk service-time multiplier for the gray-degraded replica.
+    slowdown: float = 8.0
+    # Defense parameters (modes "deadline" and "hedge").  The hedge
+    # trigger sits above the healthy cache-miss latency so speculation
+    # targets the gray replica's stragglers, not every disk read.
+    deadline_s: float = 0.25
+    hedge: str = "p95"
+    handler_slots: int = 4
+    max_handler_queue: int = 8
+    max_inflight: int = 48
+    seed: int = 42
+
+
+#: Fast settings for tests, CI chaos smoke, and --quick campaigns.
+QUICK_TAIL_SCALE = TailScale(record_count=3_000, operation_count=8_000,
+                             n_threads=16, target_throughput=1_200.0,
+                             overload_threads=64, overload_operations=5_000,
+                             fault_at_s=1.5, fault_duration_s=5.0)
+
+
+def _tail_storage(db: str, record_count: int, n_servers: int,
+                  regions_per_server: int = 2,
+                  replication: int = 3) -> StorageSpec:
+    """Storage tuning that keeps the tail campaign's reads disk-exposed.
+
+    The stress default (:func:`~repro.core.config.scaled_stress_storage`)
+    makes RF = 3 cache-resident, which would hide a slow *disk* entirely;
+    here the block cache covers ~40% of one storage tree's resident data,
+    so a steady fraction of reads misses to the spindle — the population
+    whose tail the defenses act on.  The tree sizes differ per engine:
+    a Cassandra node's single tree holds RF x (data / nodes), while an
+    HBase region's tree holds data / (nodes x regions).
+    """
+    data = record_count * 1000
+    if db == "cassandra":
+        per_tree = data * replication // max(1, n_servers)
+    else:
+        per_tree = data // max(1, n_servers * regions_per_server)
+    return StorageSpec(
+        memtable_flush_bytes=max(32 * 1024, per_tree // 8),
+        block_bytes=8 * 1024,
+        block_cache_bytes=max(64 * 1024, int(per_tree * 0.4)),
+    )
+
+
+def tail_defense_for_mode(mode: str, scale: TailScale) -> TailDefenseConfig:
+    """The tail-defense stack a campaign mode enables."""
+    if mode == "none":
+        return TailDefenseConfig()
+    if mode == "deadline":
+        return TailDefenseConfig(deadline_s=scale.deadline_s,
+                                 handler_slots=scale.handler_slots,
+                                 max_handler_queue=scale.max_handler_queue,
+                                 max_inflight=scale.max_inflight)
+    if mode == "hedge":
+        return TailDefenseConfig(deadline_s=scale.deadline_s,
+                                 hedge=scale.hedge,
+                                 handler_slots=scale.handler_slots,
+                                 max_handler_queue=scale.max_handler_queue,
+                                 max_inflight=scale.max_inflight)
+    raise ValueError(f"unknown tail mode {mode!r}; "
+                     f"choose from {TAIL_MODES}")
+
+
+def tail_cells(db: str, scale: TailScale,
+               modes: Sequence[str] = TAIL_MODES,
+               scenarios: Sequence[str] = TAIL_SCENARIOS) -> list[CellSpec]:
+    """One cell per (scenario, defense mode)."""
+    cells = []
+    for scenario in scenarios:
+        if scenario not in TAIL_SCENARIOS:
+            raise ValueError(f"unknown tail scenario {scenario!r}; "
+                             f"choose from {TAIL_SCENARIOS}")
+        for mode in modes:
+            config = default_stress_config(
+                db, "read_mostly", replication=3,
+                target_throughput=scale.target_throughput, seed=scale.seed)
+            config = replace(
+                config, record_count=scale.record_count,
+                operation_count=scale.operation_count,
+                n_threads=scale.n_threads, n_nodes=scale.n_nodes,
+                storage=_tail_storage(
+                    db, scale.record_count, scale.n_nodes - 1,
+                    regions_per_server=config.hbase.regions_per_server,
+                    replication=config.replication),
+                # Keep every read hedgeable: a background repair pulls
+                # all replicas into the read path, which leaves no spare
+                # replica to hedge to for that request.
+                cassandra=replace(config.cassandra, read_repair_chance=0.0),
+                tail=tail_defense_for_mode(mode, scale))
+            if scenario == "slow_replica":
+                # Node 0 is a server in both deployments (the client —
+                # and HBase's master — live on the last node).
+                config = replace(config, faults=(FaultSpec(
+                    kind="slow_disk", node_id=0, at_s=scale.fault_at_s,
+                    duration_s=scale.fault_duration_s,
+                    severity=scale.slowdown),))
+                run = RunSpec(workload="read_mostly",
+                              target_throughput=scale.target_throughput,
+                              faults=True)
+            else:  # overload: unthrottled, far more closed-loop threads
+                config = replace(config,
+                                 operation_count=scale.overload_operations,
+                                 n_threads=scale.overload_threads,
+                                 target_throughput=None)
+                run = RunSpec(workload="read_mostly")
+            cells.append(CellSpec(
+                key=(scenario, mode),
+                label=f"tail/{db}/{scenario}/{mode}",
+                config=config,
+                runs=(run,),
+                warm=WarmSpec(operations=max(2_000,
+                                             scale.operation_count // 6))))
+    return cells
+
+
+def tail_sweep(db: str, scale: Optional[TailScale] = None,
+               modes: Sequence[str] = TAIL_MODES,
+               scenarios: Sequence[str] = TAIL_SCENARIOS,
+               runner: Optional[CellRunner] = None) -> dict:
+    """Tail-latency defense campaign: db x scenario x defense stack.
+
+    Returns ``{scenario: {mode: summary}}`` where each summary is a
+    :func:`~repro.core.experiment.summarize_run` dict — the latency
+    percentiles up to p99.9 plus the ``errors_by_type`` breakdown that
+    separates shed requests (``Overloaded``) from spent budgets
+    (``DeadlineExceeded``) and plain timeouts.
+    """
+    scale = scale or TailScale()
+    cells = tail_cells(db, scale, modes, scenarios)
+    out: dict = {}
+    for cell, payload in zip(cells, _run(cells, runner)):
+        scenario, mode = cell.key
+        out.setdefault(scenario, {})[mode] = payload["runs"][0]
     return out
 
 

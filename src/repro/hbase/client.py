@@ -4,12 +4,32 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
+from repro.cluster.hedging import HedgePolicy
 from repro.cluster.node import Node
-from repro.cluster.topology import Cluster, DeadNodeError, RpcTimeout
+from repro.cluster.topology import (Cluster, DeadlineExceeded, DeadNodeError,
+                                    RpcTimeout)
 from repro.keyspace import key_for_token, token_of
 from repro.hbase.deployment import HBaseCluster
+from repro.sim.kernel import AnyOf
+from repro.sim.resources import Overloaded
 
-__all__ = ["HBaseClient"]
+__all__ = ["HBaseClient", "backoff_delay"]
+
+
+def backoff_delay(base_s: float, attempt: int, cap_s: float,
+                  rng=None) -> float:
+    """Exponential backoff for retry ``attempt`` (1-based), with jitter.
+
+    The uncapped delay doubles per attempt (``base_s * 2**(attempt-1)``),
+    is clamped to ``cap_s``, then equal-jittered into
+    ``[delay/2, delay)`` when an ``rng`` is supplied — drawn from the sim
+    RNG so the schedule is deterministic per seed.  ``rng=None`` gives
+    the pure exponential schedule (used by the pinning unit test).
+    """
+    delay = min(cap_s, base_s * (2 ** (attempt - 1)))
+    if rng is not None:
+        delay *= 0.5 + rng.random() / 2
+    return delay
 
 
 class HBaseClient:
@@ -17,21 +37,40 @@ class HBaseClient:
 
     The region map is cached client-side (as the real client caches META)
     and refreshed from the HMaster when an operation times out — which is
-    how clients ride out a RegionServer failover.
+    how clients ride out a RegionServer failover.  Retries back off
+    exponentially with deterministic jitter; reads can be hedged
+    (speculatively duplicated after ``speculative_retry``'s delay) and
+    every operation can carry an end-to-end deadline that replica-side
+    work honours.
     """
 
     def __init__(self, hbase: HBaseCluster, client_node: Node,
                  op_timeout_s: float = 5.0, max_retries: int = 4,
-                 retry_backoff_s: float = 0.5) -> None:
+                 retry_backoff_s: float = 0.5,
+                 backoff_cap_s: float = 5.0,
+                 rng=None,
+                 speculative_retry: Optional[str] = None,
+                 deadline_s: Optional[float] = None) -> None:
         self.hbase = hbase
         self.cluster: Cluster = hbase.cluster
         self.client_node = client_node
         self.op_timeout_s = op_timeout_s
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        #: Sim RNG stream for backoff jitter (``None`` = no jitter).
+        self._rng = rng
+        #: Speculative read retry; ``None`` disables hedging.
+        self.hedge = (HedgePolicy(speculative_retry)
+                      if speculative_retry else None)
+        #: End-to-end per-operation budget (covers retries); ``None`` =
+        #: no deadline propagation.
+        self.deadline_s = deadline_s
         #: region_id -> node_id (META cache).
         self._assignment = dict(hbase.master.assignment)
         self.retries = 0
+        self.hedges = 0
+        self.hedge_wins = 0
 
     def _server_node(self, region_id: int) -> Node:
         return self.cluster.node(self._assignment[region_id])
@@ -44,22 +83,100 @@ class HBaseClient:
 
     def _call_region(self, region_id: int, verb: str, payload: Any,
                      request_bytes: int, response_bytes: int) -> Generator:
+        env = self.cluster.env
+        deadline = (env.now + self.deadline_s
+                    if self.deadline_s is not None else None)
+        if deadline is not None:
+            payload = (*payload, deadline)
         last_error: Optional[Exception] = None
         for attempt in range(self.max_retries + 1):
             if attempt:
                 self.retries += 1
-                yield self.cluster.env.timeout(self.retry_backoff_s * attempt)
+                delay = backoff_delay(self.retry_backoff_s, attempt,
+                                      self.backoff_cap_s, self._rng)
+                if deadline is not None:
+                    remaining = deadline - env.now
+                    if remaining <= 0:
+                        raise DeadlineExceeded(
+                            f"{verb} on region {region_id}: budget spent "
+                            f"after {attempt - 1} retries") from last_error
+                    delay = min(delay, remaining)
+                yield env.timeout(delay)
                 yield from self._refresh_assignment()
             try:
-                result = yield from self.cluster.call(
-                    self.client_node, self._server_node(region_id), verb,
-                    payload, request_bytes, response_bytes,
-                    timeout=self.op_timeout_s)
+                result = yield from self._attempt(
+                    region_id, verb, payload, request_bytes, response_bytes,
+                    deadline)
                 return result
-            except (RpcTimeout, DeadNodeError) as exc:
+            except DeadlineExceeded:
+                # The end-to-end budget covers retries; it is spent.
+                raise
+            except (RpcTimeout, DeadNodeError, Overloaded) as exc:
                 last_error = exc
         raise RpcTimeout(f"{verb} on region {region_id} failed after "
                          f"{self.max_retries} retries") from last_error
+
+    def _attempt(self, region_id: int, verb: str, payload: Any,
+                 request_bytes: int, response_bytes: int,
+                 deadline: Optional[float]) -> Generator:
+        """One RPC attempt, speculatively duplicated for straggling reads.
+
+        With a hedge policy configured, a read (never a put — only reads
+        are latency-critical and side-effect-free here) that has not
+        answered after the policy's delay is re-located via the HMaster
+        and duplicated; the first successful response wins and the loser
+        is interrupted.
+        """
+        env = self.cluster.env
+        start = env.now
+        hedge = self.hedge if verb != "rs.put" else None
+        delay = hedge.delay() if hedge is not None else None
+        primary = self.cluster.call_async(
+            self.client_node, self._server_node(region_id), verb, payload,
+            request_bytes, response_bytes, timeout=self.op_timeout_s,
+            deadline=deadline)
+        if delay is not None:
+            yield AnyOf(env, [primary, env.timeout(delay)])
+        if delay is None or (primary.processed
+                             and not isinstance(primary.value, Exception)):
+            if not primary.processed:
+                yield primary
+            result = primary.value
+            if isinstance(result, Exception):
+                raise result
+            if hedge is not None:
+                hedge.observe(env.now - start)
+            return result
+        # Primary is straggling (or already failed): re-locate the region
+        # (it may have failed over) and race a duplicate read against it.
+        hedge.hedges += 1
+        self.hedges += 1
+        yield from self._refresh_assignment()
+        spare = self.cluster.call_async(
+            self.client_node, self._server_node(region_id), verb, payload,
+            request_bytes, response_bytes, timeout=self.op_timeout_s,
+            deadline=deadline)
+        contenders = [primary, spare]
+        while True:
+            pending = [p for p in contenders if not p.processed]
+            if len(pending) == len(contenders):
+                yield AnyOf(env, pending)
+                continue
+            winners = [p for p in contenders
+                       if p.processed and not isinstance(p.value, Exception)]
+            if winners:
+                winner = winners[0]
+                if winner is spare:
+                    hedge.wins += 1
+                    self.hedge_wins += 1
+                loser = next(p for p in contenders if p is not winner)
+                if loser.is_alive:
+                    loser.interrupt("hedge lost")
+                hedge.observe(env.now - start)
+                return winner.value
+            if not pending:
+                raise primary.value
+            yield pending[0]
 
     # -- operations -----------------------------------------------------
 

@@ -8,6 +8,7 @@ DataNode.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.cluster.topology import Cluster
 from repro.keyspace import KEY_DOMAIN
@@ -34,6 +35,14 @@ class HBaseSpec:
     wal_sync: bool = False
     failure_detection_s: float = 3.0
     region_recovery_s: float = 2.0
+    #: Concurrent RPC handlers per RegionServer (hbase.regionserver
+    #: .handler.count analogue).  Only enforced when
+    #: ``max_handler_queue`` is set.
+    handler_slots: int = 16
+    #: Bounded handler call-queue depth; requests beyond it are shed with
+    #: :class:`~repro.sim.resources.Overloaded`.  ``None`` = unbounded
+    #: (the pre-defense behaviour).
+    max_handler_queue: Optional[int] = None
 
 
 class HBaseCluster:
@@ -56,7 +65,9 @@ class HBaseCluster:
                             spec.replication,
                             cluster.rngs.stream(f"hdfs.client.{n.node_id}"))
             self.regionservers[n.node_id] = RegionServer(
-                cluster.env, n, dfs, wal_sync=spec.wal_sync)
+                cluster.env, n, dfs, wal_sync=spec.wal_sync,
+                handler_slots=spec.handler_slots,
+                max_handler_queue=spec.max_handler_queue)
 
         self.regions = self._presplit()
         self.master = HMaster(cluster, self.master_node, self.regionservers,

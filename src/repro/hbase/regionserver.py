@@ -5,11 +5,12 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from repro.cluster.node import Node
+from repro.cluster.topology import DeadlineExceeded
 from repro.hdfs.block import DfsFile
 from repro.hdfs.client import WAL_SEGMENT_BYTES, DfsClient
 from repro.hbase.region import Region
-from repro.sim.kernel import Environment, Event
-from repro.sim.resources import Resource
+from repro.sim.kernel import AnyOf, Environment, Event
+from repro.sim.resources import BoundedResource, Resource
 
 __all__ = ["GroupCommitWal", "RegionServer"]
 
@@ -84,13 +85,21 @@ class RegionServer:
     """Serves get/put/scan for the regions assigned to it."""
 
     def __init__(self, env: Environment, node: Node, dfs: DfsClient,
-                 wal_sync: bool = False) -> None:
+                 wal_sync: bool = False, handler_slots: int = 16,
+                 max_handler_queue: Optional[int] = None) -> None:
         self.env = env
         self.node = node
         self.dfs = dfs
         self.wal = GroupCommitWal(env, dfs, f"rs{node.node_id}", sync=wal_sync)
         #: region_id -> Region, maintained by the HMaster.
         self.regions: dict[int, Region] = {}
+        #: Bounded handler pool (hbase.regionserver.handler.count plus a
+        #: bounded call queue).  ``None`` when ``max_handler_queue`` is
+        #: unset — the pre-defense unbounded behaviour.
+        self.handler_pool: Optional[BoundedResource] = None
+        if max_handler_queue is not None:
+            self.handler_pool = BoundedResource(
+                env, capacity=handler_slots, max_queue=max_handler_queue)
         self.ops = {"put": 0, "get": 0, "scan": 0}
         node.register("rs.put", self._handle_put)
         node.register("rs.get", self._handle_get)
@@ -106,29 +115,76 @@ class RegionServer:
         if region.available_at > self.env.now:
             yield self.env.timeout(region.available_at - self.env.now)
 
+    def _acquire_slot(self, deadline: Optional[float]) -> Generator:
+        """Claim a handler slot (``None`` when pools are unbounded).
+
+        Raises :class:`~repro.sim.resources.Overloaded` synchronously on a
+        full call queue; a request whose propagated deadline expires while
+        queued withdraws its claim (lazy deletion) and fails with
+        :class:`DeadlineExceeded` without ever running.
+        """
+        pool = self.handler_pool
+        if pool is None:
+            return None
+        req = pool.request()
+        if req.triggered:
+            return req
+        if deadline is None:
+            yield req
+            return req
+        remaining = deadline - self.env.now
+        if remaining <= 0:
+            req.cancel()
+            raise DeadlineExceeded("deadline spent before handler queue")
+        timer = self.env.timeout(remaining)
+        outcome = yield AnyOf(self.env, [req, timer])
+        if req in outcome:
+            return req
+        req.cancel()
+        raise DeadlineExceeded("deadline expired in handler call queue")
+
+    def _release_slot(self, slot) -> None:
+        if slot is not None:
+            self.handler_pool.release(slot)
+
     def _handle_put(self, payload) -> Generator:
-        region_id, key, value, size, timestamp = payload
+        region_id, key, value, size, timestamp, *rest = payload
+        deadline = rest[0] if rest else None
         region = self._region(region_id)
-        yield from self._wait_available(region)
-        yield from self.node.cpu_work(_HANDLER_CPU_S)
-        yield from region.tree.put(key, value, size, timestamp)
-        self.ops["put"] += 1
+        slot = yield from self._acquire_slot(deadline)
+        try:
+            yield from self._wait_available(region)
+            yield from self.node.cpu_work(_HANDLER_CPU_S)
+            yield from region.tree.put(key, value, size, timestamp)
+            self.ops["put"] += 1
+        finally:
+            self._release_slot(slot)
         return True
 
     def _handle_get(self, payload) -> Generator:
-        region_id, key = payload
+        region_id, key, *rest = payload
+        deadline = rest[0] if rest else None
         region = self._region(region_id)
-        yield from self._wait_available(region)
-        yield from self.node.cpu_work(_HANDLER_CPU_S)
-        result = yield from region.tree.get(key)
-        self.ops["get"] += 1
+        slot = yield from self._acquire_slot(deadline)
+        try:
+            yield from self._wait_available(region)
+            yield from self.node.cpu_work(_HANDLER_CPU_S)
+            result = yield from region.tree.get(key)
+            self.ops["get"] += 1
+        finally:
+            self._release_slot(slot)
         return result
 
     def _handle_scan(self, payload) -> Generator:
-        region_id, start_key, limit = payload
+        region_id, start_key, limit, *rest = payload
+        deadline = rest[0] if rest else None
         region = self._region(region_id)
-        yield from self._wait_available(region)
-        yield from self.node.cpu_work(_HANDLER_CPU_S)
-        rows = yield from region.tree.scan(start_key, limit)
-        self.ops["scan"] += 1
+        slot = yield from self._acquire_slot(deadline)
+        try:
+            yield from self._wait_available(region)
+            yield from self.node.cpu_work(_HANDLER_CPU_S)
+            rows = yield from region.tree.scan(start_key, limit)
+            self.ops["scan"] += 1
+        finally:
+            self._release_slot(slot)
         return rows

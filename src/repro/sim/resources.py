@@ -4,6 +4,9 @@
   (models disk queues, CPU cores, RPC handler pools).
 - :class:`PriorityResource` — like :class:`Resource` but the wait queue is
   ordered by priority (models foreground vs background I/O).
+- :class:`BoundedResource` — a :class:`Resource` whose wait queue has a
+  maximum depth; requests beyond it are rejected immediately with
+  :class:`Overloaded` (models bounded server queues + load shedding).
 - :class:`Store` — an unbounded-or-bounded FIFO buffer of items (models
   mailboxes and RPC channels).
 - :class:`Container` — a continuous level with put/get amounts (models
@@ -15,6 +18,12 @@ returned request:
     with resource.request() as req:
         yield req
         yield env.timeout(service_time)
+
+Cancelling a queued request (deadline expiry, hedged-request loser) is a
+*lazy* withdrawal: the request is flagged and skipped when it surfaces
+from the heap, so cancellation is O(1) no matter how deep the queue —
+and :attr:`Resource.queue_len` excludes those ghosts so shed decisions
+and queue statistics only ever see live waiters.
 """
 
 from __future__ import annotations
@@ -24,7 +33,17 @@ from typing import Any, Optional
 
 from repro.sim.kernel import Environment, Event, SimulationError
 
-__all__ = ["Container", "PriorityResource", "Request", "Resource", "Store"]
+__all__ = ["BoundedResource", "Container", "Overloaded", "PriorityResource",
+           "Request", "Resource", "Store"]
+
+
+class Overloaded(Exception):
+    """A bounded queue rejected a request (load shed, not a timeout).
+
+    Raised synchronously by :meth:`BoundedResource.request` so the caller
+    sheds *before* any work or waiting happens — overload surfaces as an
+    explicit fast error instead of unbounded queueing latency.
+    """
 
 
 class Request(Event):
@@ -34,12 +53,15 @@ class Request(Event):
     slot (or cancels the claim if it was never granted).
     """
 
-    __slots__ = ("resource", "priority", "key")
+    __slots__ = ("resource", "priority", "key", "cancelled")
 
     def __init__(self, resource: "Resource", priority: int = 0) -> None:
         super().__init__(resource.env)
         self.resource = resource
         self.priority = priority
+        #: True once the claim was withdrawn while still queued (lazy
+        #: deletion: the heap entry is skipped, not removed).
+        self.cancelled = False
         resource._seq += 1
         self.key = (priority, resource._seq)
 
@@ -66,6 +88,8 @@ class Resource:
         self.users: list[Request] = []
         #: Requests waiting for a slot, as a heap of (key, request).
         self._waiting: list[tuple[tuple[int, int], Request]] = []
+        #: Cancelled requests still sitting in the heap (lazy deletion).
+        self._ghosts = 0
         self._seq = 0
 
     @property
@@ -75,8 +99,13 @@ class Resource:
 
     @property
     def queue_len(self) -> int:
-        """Number of requests waiting for a slot."""
-        return len(self._waiting)
+        """Number of *live* requests waiting for a slot.
+
+        Lazily-deleted (cancelled) waiters still occupy heap entries but
+        are excluded here, so admission decisions and queue statistics
+        never count ghosts.
+        """
+        return len(self._waiting) - self._ghosts
 
     def request(self, priority: int = 0) -> Request:
         """Claim a slot; the returned event triggers when granted."""
@@ -89,22 +118,24 @@ class Resource:
         return req
 
     def release(self, request: Request) -> None:
-        """Return ``request``'s slot (or withdraw it from the queue)."""
+        """Return ``request``'s slot (or withdraw it from the queue).
+
+        Withdrawing a queued request is O(1): the request is flagged
+        cancelled and skipped when the heap surfaces it.
+        """
         if request in self.users:
             self.users.remove(request)
             self._grant_next()
-        else:
-            # Cancel a queued request by lazy deletion.
-            for i, (_, queued) in enumerate(self._waiting):
-                if queued is request:
-                    self._waiting[i] = self._waiting[-1]
-                    self._waiting.pop()
-                    heapq.heapify(self._waiting)
-                    break
+        elif not request.cancelled and not request.triggered:
+            request.cancelled = True
+            self._ghosts += 1
 
     def _grant_next(self) -> None:
         while self._waiting and len(self.users) < self.capacity:
             _, req = heapq.heappop(self._waiting)
+            if req.cancelled:
+                self._ghosts -= 1
+                continue
             if req.triggered:
                 continue
             self.users.append(req)
@@ -119,6 +150,36 @@ class PriorityResource(Resource):
 
     def request(self, priority: int = 0) -> Request:
         """Claim a slot; lower ``priority`` values are served first."""
+        return super().request(priority=priority)
+
+
+class BoundedResource(Resource):
+    """A :class:`Resource` with a bounded wait queue and load shedding.
+
+    When every slot is busy *and* ``max_queue`` live requests are already
+    waiting, :meth:`request` raises :class:`Overloaded` synchronously —
+    the request never enters the system.  This is the server-side bounded
+    queue that turns overload into explicit errors instead of unbounded
+    latency; ``shed`` counts the rejections.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1,
+                 max_queue: int = 0) -> None:
+        if max_queue < 0:
+            raise SimulationError(f"max_queue must be >= 0, got {max_queue}")
+        super().__init__(env, capacity)
+        self.max_queue = max_queue
+        #: Requests rejected because the queue was full.
+        self.shed = 0
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim a slot, or raise :class:`Overloaded` if the queue is full."""
+        if len(self.users) >= self.capacity \
+                and self.queue_len >= self.max_queue:
+            self.shed += 1
+            raise Overloaded(
+                f"queue full ({self.queue_len} waiting, "
+                f"{self.capacity} slots busy)")
         return super().request(priority=priority)
 
 

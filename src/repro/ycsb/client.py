@@ -22,6 +22,7 @@ from repro.cassandra.coordinator import ReadTimeoutError, WriteTimeoutError
 from repro.cluster.topology import DeadNodeError, RpcTimeout
 from repro.keyspace import key_for_index
 from repro.sim.kernel import AllOf, Environment
+from repro.sim.resources import Overloaded
 from repro.ycsb.db import DbBinding
 from repro.ycsb.measurements import Measurements
 from repro.ycsb.workload import OperationType, Workload
@@ -29,8 +30,12 @@ from repro.ycsb.workload import OperationType, Workload
 __all__ = ["LoadResult", "RunResult", "YcsbClient"]
 
 #: Exceptions recorded as failed operations rather than crashing the run.
+#: ``Overloaded`` is a bounded queue shedding load — an explicit error in
+#: place of unbounded queueing latency; ``DeadlineExceeded`` (a
+#: ``RpcTimeout`` subclass) is a spent end-to-end budget.  Both show up
+#: under their own names in ``errors_by_type``.
 OPERATION_ERRORS = (UnavailableError, ReadTimeoutError, WriteTimeoutError,
-                    RpcTimeout, DeadNodeError)
+                    RpcTimeout, DeadNodeError, Overloaded)
 
 
 @dataclass(frozen=True)

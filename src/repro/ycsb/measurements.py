@@ -2,7 +2,7 @@
 
 Per-operation-type latency samples with timestamps (so SLA windows and
 failover timelines can be reconstructed), summarized into the statistics
-YCSB reports: mean, min, max, and the 50th/95th/99th percentiles.
+YCSB reports: mean, min, max, and the 50th/95th/99th/99.9th percentiles.
 """
 
 from __future__ import annotations
@@ -26,6 +26,9 @@ class LatencyStats:
     p50: float
     p95: float
     p99: float
+    #: 99.9th percentile — the tail the defense layer (hedging,
+    #: deadlines, load shedding) is judged on.
+    p999: float = 0.0
 
     @property
     def mean_ms(self) -> float:
@@ -35,9 +38,13 @@ class LatencyStats:
     def p99_ms(self) -> float:
         return self.p99 * 1000.0
 
+    @property
+    def p999_ms(self) -> float:
+        return self.p999 * 1000.0
+
     @staticmethod
     def empty() -> "LatencyStats":
-        return LatencyStats(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return LatencyStats(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
 
 
 def percentile(sorted_values: list[float], fraction: float) -> float:
@@ -108,7 +115,7 @@ class Measurements:
         samples = self.samples.get(op, [])
         errors = self.errors.get(op, 0)
         if not samples:
-            return LatencyStats(0, errors, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+            return LatencyStats(0, errors, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
         latencies = sorted(lat for _, lat in samples)
         return LatencyStats(
             count=len(latencies),
@@ -119,6 +126,7 @@ class Measurements:
             p50=percentile(latencies, 0.50),
             p95=percentile(latencies, 0.95),
             p99=percentile(latencies, 0.99),
+            p999=percentile(latencies, 0.999),
         )
 
     def overall_stats(self) -> LatencyStats:
@@ -127,7 +135,7 @@ class Measurements:
             merged.extend(lat for _, lat in op_samples)
         if not merged:
             return LatencyStats(0, self.total_errors,
-                                0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+                                0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
         merged.sort()
         return LatencyStats(
             count=len(merged),
@@ -138,6 +146,7 @@ class Measurements:
             p50=percentile(merged, 0.50),
             p95=percentile(merged, 0.95),
             p99=percentile(merged, 0.99),
+            p999=percentile(merged, 0.999),
         )
 
     def timeline(self, bucket_s: float) -> list[tuple[float, int, float]]:

@@ -134,6 +134,38 @@ class TestWaitForK:
         assert env.run(until=proc) == "timed out"
         env.run()
 
+    def test_timeout_value_and_raised_failure_same_wave(self, env):
+        # One proc resolves with an exception *value* (the RPC helpers'
+        # timeout convention) and another *raises*, both at the same
+        # instant as the success; the mixed wave must neither satisfy k
+        # early nor crash the kernel via the raised failure.
+        procs = [self.make_proc(env, 1.0, fail=True),
+                 self.make_raising_proc(env, 1.0),
+                 self.make_proc(env, 1.0, value="ok")]
+
+        def waiter():
+            yield from wait_for_k(env, procs, 1, ReadTimeoutError("no data"))
+            return env.now
+
+        proc = env.process(waiter())
+        assert env.run(until=proc) == 1.0
+        env.run()  # the raised failure must have been defused
+
+    def test_same_wave_mixed_failures_raise_once_all_finished(self, env):
+        procs = [self.make_proc(env, 1.0, fail=True),
+                 self.make_raising_proc(env, 1.0)]
+
+        def waiter():
+            try:
+                yield from wait_for_k(env, procs, 1,
+                                      ReadTimeoutError("no data"))
+            except ReadTimeoutError:
+                return env.now
+
+        proc = env.process(waiter())
+        assert env.run(until=proc) == 1.0
+        env.run()
+
     def test_killed_replica_mid_write_does_not_crash(self, env):
         # Kernel-level version of "kill a replica mid-write": the write
         # already has its CL ack when another replica's ack process is
@@ -333,3 +365,109 @@ class TestReadRepairLatencyPath:
         # foreground reconcile and the client sees the newest version.
         assert value == "v1"
         assert coordinator.stats["read_repairs"] == 1
+
+
+class TestHedgedReads:
+    """Rapid read protection: speculative data reads racing the primary."""
+
+    def build(self, **kwargs):
+        env = Environment()
+        cluster = Cluster(env, ClusterSpec(n_nodes=6), RngRegistry(99))
+        kwargs.setdefault("read_repair_chance", 0.0)
+        cassandra = CassandraCluster(cluster, CassandraSpec(
+            replication=3, speculative_retry="5ms", **kwargs))
+        session = CassandraSession(cassandra, cassandra.client_node)
+        return env, cluster, cassandra, session
+
+    def delay_handler(self, env, node, verb, delay_s):
+        """Wrap a replica verb so it stalls ``delay_s`` before serving."""
+        orig = node.handlers[verb]
+
+        def slow(payload):
+            yield env.timeout(delay_s)
+            result = yield from orig(payload)
+            return result
+
+        node.handlers[verb] = slow
+
+    def setup_read(self, env, cassandra, session, key):
+        """Insert ``key`` and pick a non-replica coordinator for it."""
+        def seed():
+            yield from session.insert(key, "value", 100)
+            yield env.timeout(1.0)
+
+        drive(env, seed())
+        replicas = cassandra.replicas_of(key)
+        coord_id = next(n.node_id for n in cassandra.server_nodes
+                        if n.node_id not in replicas)
+        return replicas, cassandra.nodes[coord_id].coordinator
+
+    def test_hedge_fires_and_spare_wins(self):
+        env, cluster, cassandra, session = self.build()
+        key = key_for_index(5)
+        replicas, coordinator = self.setup_read(env, cassandra, session, key)
+        # Primary stalls way past the 5 ms hedge delay; the spare's copy
+        # answers long before it.
+        self.delay_handler(env, cassandra.nodes[replicas[0]].node,
+                           "c.read_data", 1.0)
+
+        start = env.now
+
+        def read():
+            result = yield from coordinator.handle_read(
+                (key, ConsistencyLevel.ONE.value, 100))
+            return result, env.now - start
+
+        (value, _ts), elapsed = drive(env, read())
+        assert value == "value"
+        assert elapsed < 1.0  # did not wait for the straggler
+        assert coordinator.stats["hedged_reads"] == 1
+        assert coordinator.stats["hedge_wins"] == 1
+        env.run(until=env.now + 10.0)  # interrupted wait drains cleanly
+
+    def test_primary_win_interrupts_spare(self):
+        env, cluster, cassandra, session = self.build()
+        key = key_for_index(5)
+        replicas, coordinator = self.setup_read(env, cassandra, session, key)
+        # Primary is slow enough to trigger the hedge but still finishes
+        # far ahead of the (much slower) spare.
+        self.delay_handler(env, cassandra.nodes[replicas[0]].node,
+                           "c.read_data", 0.02)
+        self.delay_handler(env, cassandra.nodes[replicas[1]].node,
+                           "c.read_data", 5.0)
+
+        start = env.now
+
+        def read():
+            result = yield from coordinator.handle_read(
+                (key, ConsistencyLevel.ONE.value, 100))
+            return result, env.now - start
+
+        (value, _ts), elapsed = drive(env, read())
+        assert value == "value"
+        assert elapsed < 1.0  # the spare's 5 s stall never mattered
+        assert coordinator.stats["hedged_reads"] == 1
+        assert coordinator.stats["hedge_wins"] == 0
+        # Interrupting the losing spare must not crash the kernel when
+        # its (cancelled) wait resolves much later.
+        env.run(until=env.now + 10.0)
+
+    def test_no_hedge_without_spares(self):
+        # With the repair chance forcing every replica into the read,
+        # there is no spare left to hedge to.
+        env, cluster, cassandra, session = self.build(
+            read_repair_chance=1.0)
+        key = key_for_index(5)
+        replicas, coordinator = self.setup_read(env, cassandra, session, key)
+        self.delay_handler(env, cassandra.nodes[replicas[0]].node,
+                           "c.read_data", 0.05)
+
+        def read():
+            result = yield from coordinator.handle_read(
+                (key, ConsistencyLevel.ONE.value, 100))
+            return result
+
+        value, _ts = drive(env, read())
+        assert value == "value"
+        assert coordinator.stats["hedged_reads"] == 0
+        env.run(until=env.now + 10.0)

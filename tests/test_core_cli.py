@@ -96,3 +96,52 @@ class TestCommands:
         second = capsys.readouterr()
         assert second.out == first.out
         assert "cached" in second.err
+
+
+class TestTailCommand:
+    def test_tail_parses(self):
+        args = build_parser().parse_args(
+            ["tail", "--quick", "--db", "cassandra",
+             "--mode", "none", "--mode", "hedge",
+             "--scenario", "slow_replica", "--jobs", "4"])
+        assert args.command == "tail"
+        assert args.dbs == ["cassandra"]
+        assert args.modes == ["none", "hedge"]
+        assert args.scenarios == ["slow_replica"]
+        assert args.jobs == 4
+
+    def test_tail_defaults_cover_both_dbs_all_modes(self):
+        args = build_parser().parse_args(["tail"])
+        assert args.dbs is None  # main() expands this to both databases
+        assert args.modes is None  # cmd_tail falls back to TAIL_MODES
+        assert args.scenarios is None
+        assert args.jobs == 1 and args.no_cache is False
+
+    def test_tail_invalid_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tail", "--mode", "prayer"])
+
+    def test_tail_invalid_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tail", "--scenario", "meteor"])
+
+    def test_tail_end_to_end_jobs_and_cache_identical(self, tmp_path,
+                                                      monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CELL_CACHE", str(tmp_path))
+        cells = ["--db", "cassandra", "--scenario", "overload",
+                 "--mode", "none", "--mode", "deadline"]
+        argv = ["tail", "--quick", "--jobs", "2", *cells]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "Tail-latency defenses (cassandra)" in first.out
+        assert "shed" in first.out
+        # Cached rerun is bit-identical (acceptance criterion).
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "cached" in second.err
+        # So is a serial run against the same cache: jobs only changes
+        # scheduling, never results.
+        assert main(["tail", "--quick", "--jobs", "1", *cells]) == 0
+        serial = capsys.readouterr()
+        assert serial.out == first.out

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster.topology import Cluster, ClusterSpec
 from repro.keyspace import KEY_DOMAIN, key_for_index, key_for_token, token_of
-from repro.hbase.client import HBaseClient
+from repro.hbase.client import HBaseClient, backoff_delay
 from repro.hbase.deployment import HBaseCluster, HBaseSpec
 from repro.hbase.region import Region
 from repro.sim.kernel import Environment
@@ -271,3 +271,39 @@ class TestFailover:
         rpcs = drive(env, scenario())
         # Remote HFile reads add dn.read RPCs beyond the client's own gets.
         assert rpcs > 50
+
+
+class TestBackoffSchedule:
+    def test_pure_exponential_schedule_is_pinned(self):
+        # rng=None must give exactly the doubling schedule, capped.
+        delays = [backoff_delay(0.5, attempt, 5.0)
+                  for attempt in range(1, 7)]
+        assert delays == [0.5, 1.0, 2.0, 4.0, 5.0, 5.0]
+
+    def test_cap_applies_before_jitter(self):
+        rng = RngRegistry(13).stream("hbase.client.backoff")
+        for attempt in range(1, 12):
+            delay = backoff_delay(0.5, attempt, 5.0, rng)
+            assert delay <= 5.0
+
+    def test_jitter_is_equal_jitter_within_half_delay(self):
+        rng = RngRegistry(13).stream("hbase.client.backoff")
+        for attempt in range(1, 7):
+            uncapped = min(5.0, 0.5 * 2 ** (attempt - 1))
+            delay = backoff_delay(0.5, attempt, 5.0, rng)
+            assert uncapped / 2 <= delay < uncapped
+
+    def test_jitter_is_deterministic_per_seed(self):
+        # Same named sim-RNG stream + seed -> identical backoff schedule,
+        # which is what keeps retried runs bit-identical across jobs.
+        first = [backoff_delay(0.5, a, 5.0,
+                               RngRegistry(42).stream("hbase.client.backoff"))
+                 for a in range(1, 6)]
+        again = [backoff_delay(0.5, a, 5.0,
+                               RngRegistry(42).stream("hbase.client.backoff"))
+                 for a in range(1, 6)]
+        assert first == again
+        other = [backoff_delay(0.5, a, 5.0,
+                               RngRegistry(43).stream("hbase.client.backoff"))
+                 for a in range(1, 6)]
+        assert first != other

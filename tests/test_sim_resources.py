@@ -3,7 +3,8 @@
 import pytest
 
 from repro.sim.kernel import SimulationError
-from repro.sim.resources import Container, PriorityResource, Resource, Store
+from repro.sim.resources import (BoundedResource, Container, Overloaded,
+                                 PriorityResource, Resource, Store)
 
 
 class TestResource:
@@ -97,6 +98,93 @@ class TestResource:
         env.process(waiter(env))
         env.run(until=1.0)
         assert res.queue_len == 2 and res.count == 1
+
+
+    def test_queue_len_excludes_cancelled_waiters(self, env):
+        # Regression: a lazily-deleted (cancelled) request stays in the
+        # heap until it surfaces, but it must never count as a waiter —
+        # otherwise shed decisions and queue statistics see ghosts.
+        res = Resource(env, capacity=1)
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        def impatient(env):
+            req = res.request()
+            yield env.timeout(1)
+            req.cancel()
+
+        env.process(holder(env))
+        env.process(impatient(env))
+
+        def check(env):
+            yield env.timeout(0.5)
+            assert res.queue_len == 1  # still waiting
+            yield env.timeout(1.0)
+            assert res.queue_len == 0  # cancelled: ghost, not a waiter
+            assert len(res._waiting) == 1  # but the heap entry remains
+
+        proc = env.process(check(env))
+        env.run(until=proc)
+
+    def test_double_cancel_counts_one_ghost(self, env):
+        res = Resource(env, capacity=1)
+        res.request()  # holds the only slot
+        queued = res.request()
+        queued.cancel()
+        queued.cancel()
+        assert res.queue_len == 0
+        assert res._ghosts == 1
+
+
+class TestBoundedResource:
+    def test_sheds_when_queue_full(self, env):
+        res = BoundedResource(env, capacity=1, max_queue=1)
+
+        def scenario(env):
+            first = res.request()   # takes the slot
+            res.request()           # fills the queue
+            with pytest.raises(Overloaded):
+                res.request()       # shed
+            assert res.shed == 1
+            yield first
+
+        env.run(until=env.process(scenario(env)))
+
+    def test_cancelled_waiter_frees_queue_room(self, env):
+        res = BoundedResource(env, capacity=1, max_queue=1)
+
+        def scenario(env):
+            res.request()
+            queued = res.request()
+            queued.cancel()         # ghost: no longer a live waiter
+            third = res.request()   # admitted — no Overloaded
+            assert res.shed == 0
+            assert res.queue_len == 1
+            yield env.timeout(0)
+            return third
+
+        env.run(until=env.process(scenario(env)))
+
+    def test_zero_queue_rejects_all_waiting(self, env):
+        res = BoundedResource(env, capacity=2, max_queue=0)
+
+        def scenario(env):
+            a = res.request()
+            b = res.request()
+            with pytest.raises(Overloaded):
+                res.request()
+            res.release(a)
+            res.release(b)
+            yield env.timeout(0)
+
+        env.run(until=env.process(scenario(env)))
+
+    def test_invalid_max_queue_rejected(self, env):
+        with pytest.raises(SimulationError):
+            BoundedResource(env, capacity=1, max_queue=-1)
 
 
 class TestPriorityResource:
