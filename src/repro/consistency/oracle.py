@@ -1,0 +1,93 @@
+"""One JSON-safe consistency report per recorded run.
+
+:func:`build_consistency_report` decides which guarantee a run's
+configuration promises (R+W > RF ⇒ per-key linearizability; otherwise
+session guarantees + eventual convergence), runs the matching checkers
+over the recorded history, and reduces the result to plain
+floats/ints/strings so it rides the cell cache byte-identically — the
+same contract as :func:`repro.core.failover.build_failover_report`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cassandra.consistency import ConsistencyLevel
+from repro.consistency.checkers import check_convergence, check_history
+from repro.consistency.history import History
+
+__all__ = ["SESSION_KINDS", "VIOLATION_KINDS", "build_consistency_report",
+           "unexpected_violations"]
+
+#: Violation kinds a weak (eventually consistent) configuration is
+#: allowed to exhibit under faults — the paper's F4/F6 staleness story.
+SESSION_KINDS = ("stale_read", "read_your_writes", "monotonic_reads")
+
+#: Every kind a report may count (stable key set, zeros included).
+VIOLATION_KINDS = ("linearizability",) + SESSION_KINDS + ("convergence",)
+
+
+def build_consistency_report(history: History, *, db: str,
+                             read_cl: Optional[ConsistencyLevel] = None,
+                             write_cl: Optional[ConsistencyLevel] = None,
+                             replication: int = 3,
+                             cassandra=None,
+                             max_states: int = 200_000) -> dict:
+    """Check one recorded run and summarize the verdict.
+
+    ``cassandra`` (the deployment, when there is one) enables the
+    convergence check; call after the session has settled so repair and
+    hint replay have drained.  HBase is always ``strong``: a region has
+    one serving owner, so its reads are trivially linearizable — the
+    checker then guards the client/failover path, not quorum math.
+    """
+    if db == "hbase":
+        strong = True
+    else:
+        strong = (read_cl or ConsistencyLevel.ONE).is_strong_with(
+            write_cl or ConsistencyLevel.ONE, replication)
+
+    outcome = check_history(history, strong=strong, max_states=max_states)
+    violations = list(outcome.violations)
+    if cassandra is not None:
+        written_keys = {op.key for op in history.ops
+                        if op.kind == "write" and op.outcome != "fail"}
+        violations.extend(check_convergence(cassandra, written_keys))
+
+    by_kind = {kind: 0 for kind in VIOLATION_KINDS}
+    for violation in violations:
+        by_kind[violation.kind] = by_kind.get(violation.kind, 0) + 1
+
+    report = dict(history.summary())
+    report.update({
+        "db": db,
+        "read_cl": read_cl.value if read_cl is not None else None,
+        "write_cl": write_cl.value if write_cl is not None else None,
+        "replication": replication,
+        "strong": strong,
+        "checked": {
+            "linearizability": strong,
+            "sessions": True,
+            "convergence": cassandra is not None,
+        },
+        "violations": len(violations),
+        "violations_by_kind": by_kind,
+        "inconclusive_keys": len(outcome.inconclusive_keys),
+        "states_explored": outcome.states_explored,
+        "examples": [v.to_dict() for v in violations[:20]],
+    })
+    return report
+
+
+def unexpected_violations(report: dict) -> int:
+    """Violations the run's own configuration forbids.
+
+    A strong config (R+W > RF, or HBase) forbids everything.  A weak CL
+    promises only eventual consistency: session/staleness findings are
+    expected discoveries under faults, but divergence that survives
+    quiescence + repair (``convergence``) is a model bug either way.
+    """
+    by_kind = report["violations_by_kind"]
+    if report["strong"]:
+        return sum(by_kind.values())
+    return by_kind.get("convergence", 0)

@@ -10,6 +10,7 @@ from repro.core.config import (
     CassandraConfig,
     ExperimentConfig,
     HBaseConfig,
+    default_check_config,
     default_micro_config,
     default_stress_config,
 )
@@ -20,6 +21,7 @@ from repro.core.experiment import (
 )
 from repro.core.failover import StalenessProbe, build_failover_report
 from repro.core.report import (
+    render_check_report,
     render_consistency_sweep,
     render_failover_sweep,
     render_failover_timeline,
@@ -30,12 +32,16 @@ from repro.core.report import (
 )
 from repro.core.sla import Sla, SlaReport, evaluate_sla, max_throughput_under_sla
 from repro.core.sweep import (
+    CHECK_CL_MODES,
     CONSISTENCY_MODES,
     FAILOVER_CL_MODES,
+    QUICK_CHECK_SCALE,
     QUICK_FAILOVER_SCALE,
     QUICK_SCALE,
+    CheckScale,
     FailoverScale,
     SweepScale,
+    check_sweep,
     consistency_stress_sweep,
     failover_sweep,
     replication_micro_sweep,
@@ -43,14 +49,17 @@ from repro.core.sweep import (
 )
 
 __all__ = [
+    "CHECK_CL_MODES",
     "CONSISTENCY_MODES",
     "CassandraConfig",
+    "CheckScale",
     "ExperimentConfig",
     "ExperimentResult",
     "ExperimentSession",
     "FAILOVER_CL_MODES",
     "FailoverScale",
     "HBaseConfig",
+    "QUICK_CHECK_SCALE",
     "QUICK_FAILOVER_SCALE",
     "QUICK_SCALE",
     "Sla",
@@ -58,12 +67,15 @@ __all__ = [
     "StalenessProbe",
     "SweepScale",
     "build_failover_report",
+    "check_sweep",
     "consistency_stress_sweep",
+    "default_check_config",
     "default_micro_config",
     "default_stress_config",
     "evaluate_sla",
     "failover_sweep",
     "max_throughput_under_sla",
+    "render_check_report",
     "render_consistency_sweep",
     "render_failover_sweep",
     "render_failover_timeline",

@@ -11,11 +11,13 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
 from repro.cluster.failure import FAULT_KINDS
 from repro.core.report import (
+    render_check_report,
     render_consistency_sweep,
     render_failover_sweep,
     render_failover_timeline,
@@ -27,14 +29,18 @@ from repro.core.report import (
 )
 from repro.core.runner import CellRunner, default_cache_dir
 from repro.core.sweep import (
+    CHECK_CL_MODES,
+    QUICK_CHECK_SCALE,
     QUICK_FAILOVER_SCALE,
     QUICK_SCALE,
     QUICK_TAIL_SCALE,
     TAIL_MODES,
     TAIL_SCENARIOS,
+    CheckScale,
     FailoverScale,
     SweepScale,
     TailScale,
+    check_sweep,
     consistency_stress_sweep,
     failover_sweep,
     replication_micro_sweep,
@@ -141,6 +147,31 @@ def cmd_tail(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    """Consistency oracle: explore seeds, print the verdict, and fail
+    the process (``--strict``) on any violation the configured
+    guarantee does not permit."""
+    scale = QUICK_CHECK_SCALE if args.quick else CheckScale()
+    sweeps: dict = {}
+    unexpected = 0
+    for db in args.dbs:
+        sweep = check_sweep(db, mode=args.cl, seeds=args.seeds,
+                            fault=args.fault, no_repair=args.no_repair,
+                            scale=scale, runner=_runner(args))
+        sweeps[db] = sweep
+        unexpected += sweep["unexpected_violations"]
+        print(render_check_report(db, sweep))
+        print()
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(sweeps, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.report}", file=sys.stderr)
+    if args.strict and unexpected:
+        print(f"FAIL: {unexpected} unexpected violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -214,6 +245,39 @@ def build_parser() -> argparse.ArgumentParser:
                         help="recompute every cell instead of reusing "
                              f"the cell cache ({default_cache_dir()})")
     p_tail.set_defaults(func=cmd_tail)
+
+    p_check = sub.add_parser(
+        "check", help="consistency oracle: explore seeds x fault "
+                      "schedules and verify the configured guarantees")
+    p_check.add_argument("--quick", action="store_true",
+                         help="small scale for fast runs (CI smoke)")
+    p_check.add_argument("--db", dest="dbs", action="append",
+                         choices=["hbase", "cassandra"],
+                         help="database(s) to check (default: both)")
+    p_check.add_argument("--cl", default="QUORUM",
+                         choices=sorted(CHECK_CL_MODES),
+                         help="Cassandra consistency round (default QUORUM; "
+                              "ignored for HBase)")
+    p_check.add_argument("--seeds", type=int, default=25, metavar="N",
+                         help="explore seeds 0..N-1 (default 25)")
+    p_check.add_argument("--fault", choices=list(FAULT_KINDS),
+                         help="fault-schedule template to inject per seed "
+                              "(default: healthy runs)")
+    p_check.add_argument("--no-repair", action="store_true",
+                         help="disable read repair so weak-CL staleness "
+                              "stays observable")
+    p_check.add_argument("--strict", action="store_true",
+                         help="exit 1 on any violation the configured "
+                              "guarantee does not permit")
+    p_check.add_argument("--report", metavar="PATH",
+                         help="also write the full JSON verdict to PATH")
+    p_check.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="run check cells across N worker processes "
+                              "(0 = one per CPU core)")
+    p_check.add_argument("--no-cache", action="store_true",
+                         help="recompute every cell instead of reusing "
+                              f"the cell cache ({default_cache_dir()})")
+    p_check.set_defaults(func=cmd_check)
     return parser
 
 
@@ -221,7 +285,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if (getattr(args, "dbs", None) is None
-            and args.command in ("fig1", "fig2", "failover", "tail")):
+            and args.command in ("fig1", "fig2", "failover", "tail",
+                                 "check")):
         args.dbs = ["hbase", "cassandra"]
     if getattr(args, "faults", None) is None and args.command == "failover":
         args.faults = ["crash"]

@@ -21,6 +21,8 @@ from repro.cassandra.consistency import ConsistencyLevel
 from repro.cassandra.deployment import CassandraCluster, CassandraSpec
 from repro.cluster.failure import FailureInjector, FaultSchedule
 from repro.cluster.topology import Cluster, ClusterSpec
+from repro.consistency.history import HistoryRecorder
+from repro.consistency.oracle import build_consistency_report
 from repro.core.config import ExperimentConfig
 from repro.core.failover import StalenessProbe, build_failover_report
 from repro.hbase.client import HBaseClient
@@ -60,6 +62,8 @@ def summarize_run(result: "RunResult") -> dict:
     }
     if result.failover is not None:
         summary["failover"] = result.failover
+    if result.consistency is not None:
+        summary["consistency"] = result.consistency
     return summary
 
 
@@ -177,13 +181,21 @@ class ExperimentSession:
                  read_cl: Optional[ConsistencyLevel] = None,
                  write_cl: Optional[ConsistencyLevel] = None,
                  warmup_fraction: Optional[float] = 0.0,
-                 inject_faults: bool = False) -> RunResult:
+                 inject_faults: bool = False,
+                 check_consistency: bool = False) -> RunResult:
         """Run one measured workload cell on the loaded deployment.
 
         With ``inject_faults`` the config's fault schedule is armed
         relative to the run's start, a read-your-writes probe runs
         alongside the workload, and the result carries a
         :func:`~repro.core.failover.build_failover_report` dict.
+
+        With ``check_consistency`` every database operation is recorded
+        into a Jepsen-style history (writes tagged with unique values)
+        and the result carries a
+        :func:`~repro.consistency.oracle.build_consistency_report` dict,
+        built after the post-run settle so the convergence check sees a
+        quiescent cluster.
         """
         if not self._loaded:
             raise RuntimeError("call load() before run_cell()")
@@ -196,7 +208,19 @@ class ExperimentSession:
                 self._session.write_cl = write_cl
         spec = workload or self.config.workload
         runtime_workload = self._new_workload(spec)
-        client = YcsbClient(self.env, self.binding, runtime_workload,
+        recorder: Optional[HistoryRecorder] = None
+        binding: DbBinding = self.binding
+        if check_consistency:
+            read_cl_of = write_cl_of = None
+            if self._session is not None:
+                session = self._session
+                read_cl_of = lambda: session.read_cl.value  # noqa: E731
+                write_cl_of = lambda: session.write_cl.value  # noqa: E731
+            recorder = HistoryRecorder(self.binding, self.env,
+                                       read_cl=read_cl_of,
+                                       write_cl=write_cl_of)
+            binding = recorder
+        client = YcsbClient(self.env, binding, runtime_workload,
                             self.rngs.stream(f"client.run.{self.env.now}"),
                             client_node=self.client_node)
         ops = operation_count or self.config.operation_count
@@ -233,6 +257,16 @@ class ExperimentSession:
                 result.measurements, injector.log,
                 target_throughput=target, expected_end=expected_end,
                 probe=probe))
+        if recorder is not None:
+            result = replace(result, consistency=build_consistency_report(
+                recorder.history,
+                db=self.config.db,
+                read_cl=(self._session.read_cl if self._session is not None
+                         else None),
+                write_cl=(self._session.write_cl if self._session is not None
+                          else None),
+                replication=self.config.replication,
+                cassandra=self.cassandra))
         return result
 
     def db_stats(self) -> dict:

@@ -4,10 +4,10 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-__all__ = ["render_consistency_sweep", "render_failover_sweep",
-           "render_failover_timeline", "render_micro_sweep",
-           "render_progress", "render_series", "render_stress_sweep",
-           "render_table", "render_tail_sweep"]
+__all__ = ["render_check_report", "render_consistency_sweep",
+           "render_failover_sweep", "render_failover_timeline",
+           "render_micro_sweep", "render_progress", "render_series",
+           "render_stress_sweep", "render_table", "render_tail_sweep"]
 
 
 def render_progress(event, completed: Optional[int] = None) -> str:
@@ -164,6 +164,44 @@ def render_tail_sweep(db: str, sweep: dict) -> str:
         headers, rows,
         title=f"Tail-latency defenses ({db}): "
               "latency distribution and error budget per defense stack")
+
+
+def render_check_report(db: str, sweep: dict) -> str:
+    """Consistency-oracle verdict table for one ``check`` sweep.
+
+    ``sweep`` is :func:`repro.consistency.explorer.check_sweep` output:
+    violation counts by kind across the seed matrix, the violating
+    seeds, and whether the minimal reproducing seed replayed to a
+    bit-identical report.
+    """
+    fault = sweep["fault"] or "healthy"
+    repair = " no-repair" if sweep["no_repair"] else ""
+    rows = [[kind, count]
+            for kind, count in sweep["violations_by_kind"].items()]
+    lines = [render_table(
+        ["violation kind", "count"], rows,
+        title=(f"Consistency check ({db}, cl={sweep['mode']}, {fault}"
+               f"{repair}): {len(sweep['seeds'])} seeds"))]
+    if sweep["violating_seeds"]:
+        lines.append(f"violating seeds: {sweep['violating_seeds']}")
+        replay = sweep["replay_verified"]
+        verdict = ("replay verified" if replay
+                   else "replay MISMATCH" if replay is not None
+                   else "replay not attempted")
+        lines.append(f"minimal reproducing seed: {sweep['min_repro_seed']}"
+                     f" ({verdict})")
+        for example in sweep["example_violations"][:5]:
+            lines.append(f"  e.g. [{example['kind']}] key={example['key']} "
+                         f"at {example['at_s']:.3f}s: {example['detail']}")
+    else:
+        lines.append("no violations across the matrix")
+    if sweep["inconclusive_keys"]:
+        lines.append(f"inconclusive keys (state budget exhausted): "
+                     f"{sweep['inconclusive_keys']}")
+    if sweep["unexpected_violations"]:
+        lines.append(f"UNEXPECTED violations (guarantee broken): "
+                     f"{sweep['unexpected_violations']}")
+    return "\n".join(lines)
 
 
 def render_consistency_sweep(sweep: dict) -> str:

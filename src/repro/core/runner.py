@@ -54,7 +54,8 @@ __all__ = [
 
 #: Bump when the payload schema changes (invalidates every cached cell).
 #: "2": summaries grew p50/p95/p99.9 and the errors_by_type breakdown.
-RESULT_VERSION = "2"
+#: "3": summaries may carry a ``consistency`` report (RunSpec.check).
+RESULT_VERSION = "3"
 
 #: Environment override for the cell-cache directory.
 CACHE_ENV_VAR = "REPRO_CELL_CACHE"
@@ -83,6 +84,9 @@ class RunSpec:
     #: Arm the config's fault schedule for this run and attach a
     #: failover report to its summary (chaos campaigns).
     faults: bool = False
+    #: Record a Jepsen-style operation history for this run and attach a
+    #: consistency report to its summary (``repro-bench check``).
+    check: bool = False
 
 
 @dataclass(frozen=True)
@@ -152,7 +156,8 @@ def execute_cell(spec: CellSpec) -> dict:
             target_throughput=run.target_throughput,
             read_cl=ConsistencyLevel(run.read_cl) if run.read_cl else None,
             write_cl=ConsistencyLevel(run.write_cl) if run.write_cl else None,
-            inject_faults=run.faults)
+            inject_faults=run.faults,
+            check_consistency=run.check)
         if run.measured:
             runs.append(summarize_run(result))
     payload: dict = {"runs": runs}

@@ -24,6 +24,14 @@ from typing import Optional, Sequence
 
 from repro.cassandra.consistency import ConsistencyLevel
 from repro.cluster.failure import FaultSpec
+# Imported here (not in repro.consistency's package init) so the sweep
+# layer exposes every campaign entrypoint while the consistency package
+# stays importable from repro.core.experiment without a cycle.
+from repro.consistency.explorer import (CHECK_CL_MODES,
+                                        QUICK_CHECK_SCALE,
+                                        CheckScale,
+                                        check_cells,
+                                        check_sweep)
 from repro.core.config import (TailDefenseConfig,
                                default_micro_config,
                                default_stress_config,
@@ -32,10 +40,13 @@ from repro.core.runner import CellRunner, CellSpec, RunSpec, WarmSpec
 from repro.storage.lsm import StorageSpec
 
 __all__ = [
+    "CHECK_CL_MODES",
     "CONSISTENCY_MODES",
+    "CheckScale",
     "FAILOVER_CL_MODES",
     "FailoverScale",
     "MICRO_OP_ORDER",
+    "QUICK_CHECK_SCALE",
     "QUICK_FAILOVER_SCALE",
     "QUICK_TAIL_SCALE",
     "STRESS_WORKLOAD_ORDER",
@@ -43,6 +54,8 @@ __all__ = [
     "TAIL_MODES",
     "TAIL_SCENARIOS",
     "TailScale",
+    "check_cells",
+    "check_sweep",
     "consistency_stress_sweep",
     "failover_cells",
     "failover_sweep",

@@ -23,6 +23,7 @@ from repro.sim.kernel import (
 )
 from repro.sim.resources import Container, PriorityResource, Resource, Store
 from repro.sim.rng import RngRegistry
+from repro.sim.trace import KernelTracer
 
 __all__ = [
     "AllOf",
@@ -31,6 +32,7 @@ __all__ = [
     "Environment",
     "Event",
     "Interrupt",
+    "KernelTracer",
     "PriorityResource",
     "Process",
     "Resource",

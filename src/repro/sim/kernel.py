@@ -369,6 +369,14 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: Optional hook called as ``trace(now, priority, seq, event)`` for
+        #: every event the loop actually processes (already-processed
+        #: queue entries, e.g. condition re-pushes, are not reported).
+        #: ``(priority, seq)`` is the queue ordering key, so the call
+        #: sequence *is* the kernel's schedule — two runs are
+        #: deterministic replicas iff their trace streams are identical
+        #: (see :class:`repro.sim.trace.KernelTracer`).
+        self.trace: Optional[Callable[[float, int, int, Event], None]] = None
 
     @property
     def now(self) -> float:
@@ -416,10 +424,12 @@ class Environment:
         """Process the single next event."""
         if not self._queue:
             raise SimulationError("no scheduled events")
-        self._now, _, _, event = heapq.heappop(self._queue)
+        self._now, priority, seq, event = heapq.heappop(self._queue)
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:
             return  # event was already processed (e.g. condition re-push)
+        if self.trace is not None:
+            self.trace(self._now, priority, seq, event)
         for callback in callbacks:
             callback(event)
         if not event._ok and not event._defused:

@@ -63,6 +63,10 @@ class RunResult:
     #: :func:`repro.core.failover.build_failover_report`) attached when
     #: the cell ran with fault injection enabled.
     failover: Optional[dict] = None
+    #: JSON-safe consistency report (see
+    #: :func:`repro.consistency.oracle.build_consistency_report`)
+    #: attached when the cell ran with history recording enabled.
+    consistency: Optional[dict] = None
 
     def stats(self, op: str):
         return self.measurements.stats(op)

@@ -95,6 +95,40 @@ class TestCompactionProperty:
             assert ts == model[key][1]
 
 
+class TestLsmMergeModel:
+    """A memtable + flushed SSTables merge back to the dict model.
+
+    Drives a put/flush script against a real memtable (flushing into
+    real SSTables at arbitrary points), then checks that compacting the
+    flushed tables together with a final flush of the live memtable
+    reproduces exactly the newest-version-per-key dict.
+    """
+
+    @given(st.lists(st.one_of(
+        st.tuples(st.just("put"), keys, st.integers()),
+        st.tuples(st.just("flush"), st.just(""), st.just(0))),
+        min_size=1, max_size=150))
+    def test_flush_then_merge_matches_model(self, script):
+        table = Memtable()
+        sstables = []
+        model: dict = {}
+        for ts, (op, key, value) in enumerate(script):
+            if op == "put":
+                table.put(key, value, 8, float(ts))
+                model[key] = (value, float(ts))
+            elif len(table):
+                sstables.append(SSTable(list(table.items_sorted()),
+                                        block_bytes=256))
+                table = Memtable()
+        if len(table):
+            sstables.append(SSTable(list(table.items_sorted()),
+                                    block_bytes=256))
+        merged = merge_tables(sstables) if sstables else []
+        assert [k for k, *_ in merged] == sorted(model)
+        for key, value, ts, _size in merged:
+            assert (value, ts) == model[key]
+
+
 class TestCacheProperty:
     @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 20)),
                     max_size=200),
@@ -122,6 +156,34 @@ class TestRingProperties:
         # Prefix property (SimpleStrategy).
         fewer = ring.replicas_for_token(token, max(1, rf - 1))
         assert replicas[:len(fewer)] == fewer
+
+
+class TestRingOwnershipPartition:
+    """Token ownership is a partition of the ring, whatever the vnodes."""
+
+    @given(st.integers(min_value=1, max_value=10),
+           st.integers(min_value=1, max_value=32),
+           st.integers())
+    @settings(max_examples=50)
+    def test_fractions_partition_the_ring(self, n_nodes, vnodes, seed):
+        ring = TokenRing(list(range(n_nodes)), vnodes=vnodes,
+                         rng=random.Random(seed))
+        fractions = ring.ownership_fractions()
+        assert set(fractions) == set(range(n_nodes))
+        assert all(f >= 0.0 for f in fractions.values())
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=16),
+           st.integers(min_value=0, max_value=KEY_DOMAIN - 1),
+           st.integers())
+    @settings(max_examples=50)
+    def test_full_replication_covers_every_node(self, n_nodes, vnodes,
+                                                token, seed):
+        ring = TokenRing(list(range(n_nodes)), vnodes=vnodes,
+                         rng=random.Random(seed))
+        assert set(ring.replicas_for_token(token, n_nodes)) \
+            == set(range(n_nodes))
 
 
 class TestConsistencyArithmetic:
@@ -166,6 +228,18 @@ class TestStatisticsProperties:
         p95 = percentile(ordered, 0.95)
         p99 = percentile(ordered, 0.99)
         assert ordered[0] <= p50 <= p95 <= p99 <= ordered[-1]
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e3,
+                              allow_nan=False), min_size=1, max_size=200),
+           st.floats(min_value=1e-6, max_value=1.0))
+    def test_percentile_is_nearest_rank(self, values, fraction):
+        """The implementation equals the textbook nearest-rank value:
+        the smallest element covering at least ``fraction`` of the set."""
+        ordered = sorted(values)
+        n = len(ordered)
+        reference = next(v for i, v in enumerate(ordered)
+                         if i + 1 >= fraction * n)
+        assert percentile(ordered, fraction) == reference
 
     @given(st.lists(st.tuples(st.sampled_from("abc"),
                               st.floats(min_value=0.01, max_value=10,
