@@ -217,6 +217,10 @@ class Coordinator:
         deadline = rest[0] if rest else None
         cl = ConsistencyLevel(cl_name)
         self.stats["writes"] += 1
+        # Per-CL breakdown: under an adaptive policy a single run mixes
+        # levels, and the decision-log cross-check sums these.
+        key_by_cl = f"writes_{cl.value}"
+        self.stats[key_by_cl] = self.stats.get(key_by_cl, 0) + 1
         yield from self.owner.node.cpu_work(_COORD_CPU_S)
         alive, replication = self._alive_replicas(key)
         required, ordered, ack_pool = self._plan(cl, alive, replication)
@@ -269,6 +273,8 @@ class Coordinator:
         deadline = rest[0] if rest else None
         cl = ConsistencyLevel(cl_name)
         self.stats["reads"] += 1
+        key_by_cl = f"reads_{cl.value}"
+        self.stats[key_by_cl] = self.stats.get(key_by_cl, 0) + 1
         yield from self.owner.node.cpu_work(_COORD_CPU_S)
         spec = self.owner.spec
         alive, replication = self._alive_replicas(key)

@@ -63,10 +63,16 @@ class Violation:
     session: Optional[str] = None
     #: Simulation time of the violating observation.
     at_s: Optional[float] = None
+    #: Staleness lag of the observation (seconds): how long before the
+    #: read's invocation the freshest missed write had already completed.
+    #: Only set for freshness violations (stale_read / read_your_writes);
+    #: the adaptive sweep compares it against the declared bound S.
+    lag_s: Optional[float] = None
 
     def to_dict(self) -> dict:
         return {"kind": self.kind, "key": self.key, "session": self.session,
-                "at_s": self.at_s, "detail": self.detail}
+                "at_s": self.at_s, "lag_s": self.lag_s,
+                "detail": self.detail}
 
 
 @dataclass
@@ -238,29 +244,38 @@ def _freshness_violations(key: str, reads: list[HistoryOp],
                           kind: str) -> list[Violation]:
     """Reads that returned a version provably older than a write already
     completed when the read was invoked (the timestamp argument in the
-    module docstring)."""
+    module docstring).
+
+    Each violation carries ``lag_s``: the read's invocation minus the
+    earliest completion among the writes it provably missed — the
+    longest the returned version had demonstrably been superseded.  The
+    adaptive sweep checks this against a policy's declared staleness
+    bound (a read may lawfully miss writes younger than the bound; a
+    lag beyond it breaks the contract).
+    """
     violations = []
     for read in reads:
-        bound: Optional[float] = None
-        for write in writes:
-            if write.response_s <= read.invoke_s:
-                bound = write.invoke_s if bound is None \
-                    else max(bound, write.invoke_s)
-        if bound is None:
+        completed = [w for w in writes if w.response_s <= read.invoke_s]
+        if not completed:
             continue
+        bound = max(w.invoke_s for w in completed)
         if read.value is None:
+            lag = read.invoke_s - min(w.response_s for w in completed)
             violations.append(Violation(
                 kind=kind, key=key, session=read.session,
-                at_s=read.response_s,
+                at_s=read.response_s, lag_s=lag,
                 detail=f"read at {read.invoke_s:.4f}s found no row after "
-                       f"an acknowledged write"))
+                       f"an acknowledged write (lag {lag:.4f}s)"))
         elif read.timestamp is not None and read.timestamp < bound:
+            missed = [w for w in completed if w.invoke_s > read.timestamp]
+            lag = (read.invoke_s - min(w.response_s for w in missed)
+                   if missed else 0.0)
             violations.append(Violation(
                 kind=kind, key=key, session=read.session,
-                at_s=read.response_s,
+                at_s=read.response_s, lag_s=lag,
                 detail=f"read at {read.invoke_s:.4f}s returned version "
                        f"ts={read.timestamp:.4f} older than a write "
-                       f"completed by {bound:.4f}s"))
+                       f"completed by {bound:.4f}s (lag {lag:.4f}s)"))
     return violations
 
 

@@ -57,6 +57,11 @@ def build_consistency_report(history: History, *, db: str,
     by_kind = {kind: 0 for kind in VIOLATION_KINDS}
     for violation in violations:
         by_kind[violation.kind] = by_kind.get(violation.kind, 0) + 1
+    #: Worst provable staleness of any freshness violation — what an
+    #: adaptive policy's declared bound S is checked against (0.0 when
+    #: every read was fresh).
+    max_lag = max((v.lag_s for v in violations if v.lag_s is not None),
+                  default=0.0)
 
     report = dict(history.summary())
     report.update({
@@ -72,6 +77,7 @@ def build_consistency_report(history: History, *, db: str,
         },
         "violations": len(violations),
         "violations_by_kind": by_kind,
+        "max_staleness_lag_s": max_lag,
         "inconclusive_keys": len(outcome.inconclusive_keys),
         "states_explored": outcome.states_explored,
         "examples": [v.to_dict() for v in violations[:20]],

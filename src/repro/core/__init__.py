@@ -7,6 +7,7 @@ cell (:mod:`repro.core.experiment`), sweep the paper's knobs
 """
 
 from repro.core.config import (
+    AdaptiveConfig,
     CassandraConfig,
     ExperimentConfig,
     HBaseConfig,
@@ -21,6 +22,8 @@ from repro.core.experiment import (
 )
 from repro.core.failover import StalenessProbe, build_failover_report
 from repro.core.report import (
+    render_adaptive_sweep,
+    render_adaptive_timeline,
     render_check_report,
     render_consistency_sweep,
     render_failover_sweep,
@@ -32,15 +35,19 @@ from repro.core.report import (
 )
 from repro.core.sla import Sla, SlaReport, evaluate_sla, max_throughput_under_sla
 from repro.core.sweep import (
+    ADAPTIVE_POLICIES,
     CHECK_CL_MODES,
     CONSISTENCY_MODES,
     FAILOVER_CL_MODES,
+    QUICK_ADAPTIVE_SCALE,
     QUICK_CHECK_SCALE,
     QUICK_FAILOVER_SCALE,
     QUICK_SCALE,
+    AdaptiveScale,
     CheckScale,
     FailoverScale,
     SweepScale,
+    adaptive_sweep,
     check_sweep,
     consistency_stress_sweep,
     failover_sweep,
@@ -49,8 +56,11 @@ from repro.core.sweep import (
 )
 
 __all__ = [
+    "ADAPTIVE_POLICIES",
     "CHECK_CL_MODES",
     "CONSISTENCY_MODES",
+    "AdaptiveConfig",
+    "AdaptiveScale",
     "CassandraConfig",
     "CheckScale",
     "ExperimentConfig",
@@ -59,6 +69,7 @@ __all__ = [
     "FAILOVER_CL_MODES",
     "FailoverScale",
     "HBaseConfig",
+    "QUICK_ADAPTIVE_SCALE",
     "QUICK_CHECK_SCALE",
     "QUICK_FAILOVER_SCALE",
     "QUICK_SCALE",
@@ -66,6 +77,7 @@ __all__ = [
     "SlaReport",
     "StalenessProbe",
     "SweepScale",
+    "adaptive_sweep",
     "build_failover_report",
     "check_sweep",
     "consistency_stress_sweep",
@@ -75,6 +87,8 @@ __all__ = [
     "evaluate_sla",
     "failover_sweep",
     "max_throughput_under_sla",
+    "render_adaptive_sweep",
+    "render_adaptive_timeline",
     "render_check_report",
     "render_consistency_sweep",
     "render_failover_sweep",

@@ -17,6 +17,8 @@ from typing import Optional, Sequence
 
 from repro.cluster.failure import FAULT_KINDS
 from repro.core.report import (
+    render_adaptive_sweep,
+    render_adaptive_timeline,
     render_check_report,
     render_consistency_sweep,
     render_failover_sweep,
@@ -29,17 +31,21 @@ from repro.core.report import (
 )
 from repro.core.runner import CellRunner, default_cache_dir
 from repro.core.sweep import (
+    ADAPTIVE_POLICIES,
     CHECK_CL_MODES,
+    QUICK_ADAPTIVE_SCALE,
     QUICK_CHECK_SCALE,
     QUICK_FAILOVER_SCALE,
     QUICK_SCALE,
     QUICK_TAIL_SCALE,
     TAIL_MODES,
     TAIL_SCENARIOS,
+    AdaptiveScale,
     CheckScale,
     FailoverScale,
     SweepScale,
     TailScale,
+    adaptive_sweep,
     check_sweep,
     consistency_stress_sweep,
     failover_sweep,
@@ -172,6 +178,34 @@ def cmd_check(args) -> int:
     return 0
 
 
+def cmd_adaptive(args) -> int:
+    """Adaptive-consistency campaign: per-request CL policies vs static
+    baselines under a latency/staleness SLO, with the decision digest
+    printed so CI can assert bit-identity across ``--jobs`` settings."""
+    scale = QUICK_ADAPTIVE_SCALE if args.quick else AdaptiveScale()
+    policies = args.policies or list(ADAPTIVE_POLICIES)
+    sweep = adaptive_sweep(policies, scale, runner=_runner(args))
+    print(render_adaptive_sweep(sweep))
+    if args.timeline:
+        for policy in sweep:
+            for target, summary in sweep[policy].items():
+                print()
+                print(render_adaptive_timeline(
+                    f"adaptive/{policy}/target={target:g}",
+                    summary["decisions"]))
+    if args.digests:
+        print()
+        for policy in sweep:
+            for target, summary in sweep[policy].items():
+                print(f"digest {policy} target={target:g} "
+                      f"{summary['decisions']['digest']}")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(sweep, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.report}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -278,6 +312,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="recompute every cell instead of reusing "
                               f"the cell cache ({default_cache_dir()})")
     p_check.set_defaults(func=cmd_check)
+
+    p_adaptive = sub.add_parser(
+        "adaptive", help="adaptive-consistency campaign: per-request CL "
+                         "policies under a latency/staleness SLO")
+    p_adaptive.add_argument("--quick", action="store_true",
+                            help="single calibrated load point (CI smoke)")
+    p_adaptive.add_argument("--policy", dest="policies", action="append",
+                            choices=list(ADAPTIVE_POLICIES),
+                            help="policy/policies to run (default: all)")
+    p_adaptive.add_argument("--timeline", action="store_true",
+                            help="print per-window CL decision timelines "
+                                 "next to the latency windows")
+    p_adaptive.add_argument("--digests", action="store_true",
+                            help="print each run's decision-log digest "
+                                 "(the determinism witness)")
+    p_adaptive.add_argument("--report", metavar="PATH",
+                            help="also write the full JSON sweep to PATH")
+    p_adaptive.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="run campaign cells across N worker "
+                                 "processes (0 = one per CPU core)")
+    p_adaptive.add_argument("--no-cache", action="store_true",
+                            help="recompute every cell instead of reusing "
+                                 f"the cell cache ({default_cache_dir()})")
+    p_adaptive.set_defaults(func=cmd_adaptive)
     return parser
 
 

@@ -13,6 +13,7 @@ from repro.storage.lsm import StorageSpec
 from repro.ycsb.workload import MICRO_WORKLOADS, STRESS_WORKLOADS, WorkloadSpec
 
 __all__ = [
+    "AdaptiveConfig",
     "CassandraConfig",
     "ExperimentConfig",
     "HBaseConfig",
@@ -53,6 +54,30 @@ class TailDefenseConfig:
 
 
 @dataclass(frozen=True)
+class AdaptiveConfig:
+    """The declared SLO an adaptive-consistency run steers by
+    (see :mod:`repro.adaptive`): "p95 read latency <= ``p95_ms`` AND
+    staleness <= ``staleness_s`` / exposed-read rate <= ``risk_rate``".
+
+    Only consulted when a run asks for a policy
+    (:attr:`repro.core.runner.RunSpec.adaptive`); otherwise inert.
+    """
+
+    #: Latency half of the SLO: per-window p95 read latency bound (ms).
+    p95_ms: float = 10.0
+    #: Staleness half: the declared freshness bound S (seconds) — keys
+    #: written more recently than this are "at risk" for weak reads.
+    staleness_s: float = 0.25
+    #: Tolerated fraction of a window's reads that may be exposed to
+    #: staleness risk (at-risk key served at a weak CL).
+    risk_rate: float = 0.01
+    #: Monitoring window length (simulated seconds).
+    window_s: float = 0.5
+    #: StepwisePolicy hysteresis: clean windows before decaying a level.
+    decay_windows: int = 3
+
+
+@dataclass(frozen=True)
 class HBaseConfig:
     """HBase-side knobs (see :class:`repro.hbase.deployment.HBaseSpec`)."""
 
@@ -73,6 +98,11 @@ class CassandraConfig:
     read_repair_chance: float = 0.1
     blocking_read_repair: bool = True
     vnodes: int = 16
+    #: How often each coordinator's hint replayer wakes (seconds).  A
+    #: larger interval models throttled hinted handoff: a restarted
+    #: replica stays stale for up to one interval, which is the window
+    #: the adaptive-consistency campaigns study.
+    hint_replay_interval_s: float = 1.0
 
 
 @dataclass(frozen=True)
@@ -100,6 +130,9 @@ class ExperimentConfig:
     #: Tail-latency defenses (deadline propagation, hedged reads,
     #: bounded queues + shedding).  Defaults to all-off.
     tail: TailDefenseConfig = field(default_factory=TailDefenseConfig)
+    #: Adaptive-consistency SLO (only consulted when a run names a
+    #: policy via ``RunSpec.adaptive``).
+    adaptive: AdaptiveConfig = field(default_factory=AdaptiveConfig)
     #: Declarative fault schedule for this cell (``at_s`` relative to the
     #: start of each measured run).  Only armed when the caller runs the
     #: cell with fault injection enabled, so the same config can serve

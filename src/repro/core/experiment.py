@@ -16,6 +16,9 @@ from dataclasses import dataclass, replace
 from repro.cluster.energy import EnergyMeter
 from typing import Optional
 
+from repro.adaptive.controller import AdaptiveController
+from repro.adaptive.monitor import Monitor, SloSpec
+from repro.adaptive.policy import make_policy
 from repro.cassandra.client import CassandraSession
 from repro.cassandra.consistency import ConsistencyLevel
 from repro.cassandra.deployment import CassandraCluster, CassandraSpec
@@ -64,6 +67,8 @@ def summarize_run(result: "RunResult") -> dict:
         summary["failover"] = result.failover
     if result.consistency is not None:
         summary["consistency"] = result.consistency
+    if result.decisions is not None:
+        summary["decisions"] = result.decisions
     return summary
 
 
@@ -118,6 +123,7 @@ class ExperimentSession:
                 vnodes=cc.vnodes,
                 read_repair_chance=cc.read_repair_chance,
                 blocking_read_repair=cc.blocking_read_repair,
+                hint_replay_interval_s=cc.hint_replay_interval_s,
                 storage=config.storage,
                 speculative_retry=tail.hedge,
                 handler_slots=tail.handler_slots,
@@ -182,7 +188,8 @@ class ExperimentSession:
                  write_cl: Optional[ConsistencyLevel] = None,
                  warmup_fraction: Optional[float] = 0.0,
                  inject_faults: bool = False,
-                 check_consistency: bool = False) -> RunResult:
+                 check_consistency: bool = False,
+                 adaptive: Optional[str] = None) -> RunResult:
         """Run one measured workload cell on the loaded deployment.
 
         With ``inject_faults`` the config's fault schedule is armed
@@ -196,6 +203,13 @@ class ExperimentSession:
         :func:`~repro.consistency.oracle.build_consistency_report` dict,
         built after the post-run settle so the convergence check sees a
         quiescent cluster.
+
+        With ``adaptive`` (a policy name, Cassandra only) the named
+        :mod:`repro.adaptive` policy picks the consistency level per
+        request under the config's SLO; the result carries the decision
+        log, and the consistency report (when also checking) classifies
+        the guarantee by the policy's *floor* CLs — the weakest it may
+        issue — rather than whatever the last request happened to use.
         """
         if not self._loaded:
             raise RuntimeError("call load() before run_cell()")
@@ -220,6 +234,35 @@ class ExperimentSession:
                                        read_cl=read_cl_of,
                                        write_cl=write_cl_of)
             binding = recorder
+        controller: Optional[AdaptiveController] = None
+        session_cls: Optional[tuple] = None
+        if adaptive is not None:
+            if self._session is None or self.cassandra is None:
+                raise ValueError(
+                    "adaptive consistency control requires Cassandra")
+            ac = self.config.adaptive
+            slo = SloSpec(p95_ms=ac.p95_ms, staleness_s=ac.staleness_s,
+                          risk_rate=ac.risk_rate, window_s=ac.window_s)
+            cassandra = self.cassandra
+
+            def coordinator_signals() -> dict:
+                totals = cassandra.total_stats()
+                totals["hint_backlog"] = sum(
+                    len(node.hints) for node in cassandra.nodes.values())
+                return totals
+
+            env = self.env
+            monitor = Monitor(slo, clock=lambda: env.now,
+                              signal_source=coordinator_signals)
+            policy = make_policy(adaptive, slo,
+                                 decay_windows=ac.decay_windows)
+            # Outermost wrapper: the controller sets the session CL
+            # *before* delegating, so the history recorder (inside)
+            # records the CL each operation actually ran at.
+            controller = AdaptiveController(binding, self._session,
+                                            policy, monitor)
+            binding = controller
+            session_cls = (self._session.read_cl, self._session.write_cl)
         client = YcsbClient(self.env, binding, runtime_workload,
                             self.rngs.stream(f"client.run.{self.env.now}"),
                             client_node=self.client_node)
@@ -257,16 +300,31 @@ class ExperimentSession:
                 result.measurements, injector.log,
                 target_throughput=target, expected_end=expected_end,
                 probe=probe))
+        if controller is not None:
+            decisions = controller.summary()
+            read_stats = result.measurements.stats("read")
+            decisions["read_p95_ms"] = read_stats.p95 * 1000.0
+            decisions["read_p99_ms"] = read_stats.p99_ms
+            result = replace(result, decisions=decisions)
         if recorder is not None:
+            report_read_cl = (self._session.read_cl
+                              if self._session is not None else None)
+            report_write_cl = (self._session.write_cl
+                               if self._session is not None else None)
+            if controller is not None:
+                # Classify the guarantee by the weakest CLs the policy may
+                # issue, not whatever the final request happened to use.
+                report_read_cl, report_write_cl = \
+                    controller.policy.floor_cls()
             result = replace(result, consistency=build_consistency_report(
                 recorder.history,
                 db=self.config.db,
-                read_cl=(self._session.read_cl if self._session is not None
-                         else None),
-                write_cl=(self._session.write_cl if self._session is not None
-                          else None),
+                read_cl=report_read_cl,
+                write_cl=report_write_cl,
                 replication=self.config.replication,
                 cassandra=self.cassandra))
+        if session_cls is not None and self._session is not None:
+            self._session.read_cl, self._session.write_cl = session_cls
         return result
 
     def db_stats(self) -> dict:

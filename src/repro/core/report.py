@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-__all__ = ["render_check_report", "render_consistency_sweep",
+__all__ = ["render_adaptive_sweep", "render_adaptive_timeline",
+           "render_check_report", "render_consistency_sweep",
            "render_failover_sweep", "render_failover_timeline",
            "render_micro_sweep", "render_progress", "render_series",
            "render_stress_sweep", "render_table", "render_tail_sweep"]
@@ -201,6 +202,83 @@ def render_check_report(db: str, sweep: dict) -> str:
     if sweep["unexpected_violations"]:
         lines.append(f"UNEXPECTED violations (guarantee broken): "
                      f"{sweep['unexpected_violations']}")
+    return "\n".join(lines)
+
+
+def _read_cl_mix(decisions: dict) -> str:
+    """Compact ``ONE 71% QUORUM 29%`` read-decision mix."""
+    by_cl = decisions["by_cl"].get("read", {})
+    total = sum(by_cl.values())
+    if not total:
+        return "-"
+    return " ".join(f"{cl} {count / total:.0%}"
+                    for cl, count in by_cl.items())
+
+
+def render_adaptive_sweep(sweep: dict) -> str:
+    """Adaptive-consistency table, one row per (policy, offered load).
+
+    ``sweep`` is :func:`repro.core.sweep.adaptive_sweep` output.  Each
+    row pairs the latency half of the SLO (achieved read p95 against
+    the declared bound) with the staleness half (oracle-checked
+    read-your-writes / stale-read rates and the worst provable lag),
+    plus the controller's read-decision mix and ladder activity.
+    """
+    headers = ["policy", "target", "ops/s", "read p95 ms", "RYW rate",
+               "stale rate", "max lag s", "esc", "decay", "read CL mix"]
+    rows = []
+    slo = None
+    for policy in sweep:
+        for target, summary in sweep[policy].items():
+            decisions = summary["decisions"]
+            slo = decisions["slo"]
+            consistency = summary["consistency"]
+            reads = max(1, consistency["reads"])
+            by_kind = consistency["violations_by_kind"]
+            counters = decisions["policy_counters"]
+            rows.append([
+                policy, target, summary["throughput"],
+                decisions["read_p95_ms"],
+                f"{by_kind.get('read_your_writes', 0) / reads:.4f}",
+                f"{by_kind.get('stale_read', 0) / reads:.4f}",
+                consistency["max_staleness_lag_s"],
+                counters.get("escalations", 0),
+                counters.get("decays", 0) + counters.get("latency_steps", 0),
+                _read_cl_mix(decisions)])
+    title = "Adaptive consistency (cassandra, RF=3): policy vs offered load"
+    if slo is not None:
+        title += (f"\nSLO: p95 <= {slo['p95_ms']:g} ms, staleness <= "
+                  f"{slo['staleness_s']:g} s, risk rate <= "
+                  f"{slo['risk_rate']:g}")
+    return render_table(headers, rows, title=title)
+
+
+def render_adaptive_timeline(label: str, decisions: dict) -> str:
+    """Per-window CL decision timeline next to the latency timeline.
+
+    ``decisions`` is one summary's ``decisions`` dict.  Each row is one
+    monitoring window: its read p95/exposure (from the monitor) beside
+    the CL mix of the decisions taken during it (from the decision
+    log), so escalations line up visibly with the breaches that caused
+    them.
+    """
+    windows = {w["start_s"]: w for w in decisions["windows"]}
+    buckets = {b["start_s"]: b["by_cl"] for b in decisions["timeline"]}
+    lines = [f"{label}  (window {decisions['slo']['window_s']:g}s)",
+             f"{'t(s)':>7}  {'reads':>5}  {'p95 ms':>7}  {'at-risk':>7}  "
+             f"{'exposed':>7}  decisions"]
+    for start in sorted(set(windows) | set(buckets)):
+        window = windows.get(start)
+        mix = " ".join(f"{cl}={count}"
+                       for cl, count in buckets.get(start, {}).items()) or "-"
+        if window is None:
+            lines.append(f"{start:7.1f}  {'-':>5}  {'-':>7}  {'-':>7}  "
+                         f"{'-':>7}  {mix}")
+            continue
+        lines.append(f"{start:7.1f}  {window['reads']:5d}  "
+                     f"{window['read_p95_ms']:7.2f}  "
+                     f"{window['at_risk_reads']:7d}  "
+                     f"{window['exposed_reads']:7d}  {mix}")
     return "\n".join(lines)
 
 

@@ -55,7 +55,9 @@ __all__ = [
 #: Bump when the payload schema changes (invalidates every cached cell).
 #: "2": summaries grew p50/p95/p99.9 and the errors_by_type breakdown.
 #: "3": summaries may carry a ``consistency`` report (RunSpec.check).
-RESULT_VERSION = "3"
+#: "4": summaries may carry a ``decisions`` log (RunSpec.adaptive) and
+#: consistency reports gained ``max_staleness_lag_s``.
+RESULT_VERSION = "4"
 
 #: Environment override for the cell-cache directory.
 CACHE_ENV_VAR = "REPRO_CELL_CACHE"
@@ -87,6 +89,11 @@ class RunSpec:
     #: Record a Jepsen-style operation history for this run and attach a
     #: consistency report to its summary (``repro-bench check``).
     check: bool = False
+    #: Adaptive-consistency policy name (see
+    #: :func:`repro.adaptive.policy.make_policy`): pick the CL per
+    #: request under the config's SLO and attach the decision log to the
+    #: summary (``repro-bench adaptive``).  Cassandra only.
+    adaptive: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -157,7 +164,8 @@ def execute_cell(spec: CellSpec) -> dict:
             read_cl=ConsistencyLevel(run.read_cl) if run.read_cl else None,
             write_cl=ConsistencyLevel(run.write_cl) if run.write_cl else None,
             inject_faults=run.faults,
-            check_consistency=run.check)
+            check_consistency=run.check,
+            adaptive=run.adaptive)
         if run.measured:
             runs.append(summarize_run(result))
     payload: dict = {"runs": runs}

@@ -14,9 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from repro.ycsb.measurements import Measurements
+from repro.ycsb.measurements import Measurements, percentile
 
-__all__ = ["Sla", "SlaReport", "evaluate_sla", "max_throughput_under_sla"]
+__all__ = ["Sla", "SlaReport", "SlaWindowViolation", "evaluate_sla",
+           "max_throughput_under_sla"]
 
 
 @dataclass(frozen=True)
@@ -35,17 +36,45 @@ class Sla:
 
 
 @dataclass(frozen=True)
+class SlaWindowViolation:
+    """One window that missed the SLA, and by how much."""
+
+    #: Zero-based window index; the window covers
+    #: ``[start_s, start_s + sla.window_s)`` on the run's clock.
+    window_index: int
+    window_start_s: float
+    samples: int
+    #: Fraction of the window's requests within the latency bound
+    #: (the SLA demanded at least ``sla.percentile``).
+    within_fraction: float
+    #: Nearest-rank latency actually achieved at ``sla.percentile``
+    #: (the SLA demanded at most ``sla.latency_ms``).
+    achieved_ms: float
+
+
+@dataclass(frozen=True)
 class SlaReport:
     sla: Sla
     windows: int
     compliant_windows: int
     #: Fraction of *requests* (not windows) within the latency bound.
     overall_fraction: float
+    #: Windows with no completed requests at all.  They count as
+    #: compliant (an idle window cannot violate a latency SLA) but are
+    #: surfaced so a "pass" built on silence is visible.
+    empty_windows: int = 0
+    #: Every non-compliant window, in time order — *which* window failed
+    #: and what percentile latency it actually achieved.
+    violations: tuple[SlaWindowViolation, ...] = ()
 
     @property
     def satisfied(self) -> bool:
         """Every window met the SLA."""
         return self.windows > 0 and self.compliant_windows == self.windows
+
+    @property
+    def first_violation(self) -> "SlaWindowViolation | None":
+        return self.violations[0] if self.violations else None
 
 
 def evaluate_sla(measurements: Measurements, sla: Sla) -> SlaReport:
@@ -65,20 +94,34 @@ def evaluate_sla(measurements: Measurements, sla: Sla) -> SlaReport:
             windows.append([])
         windows[index].append(lat)
     compliant = 0
+    empty = 0
     within_total = 0
-    for window in windows:
+    violations: list[SlaWindowViolation] = []
+    for index, window in enumerate(windows):
         if not window:
             compliant += 1  # an idle window cannot violate the SLA
+            empty += 1
             continue
         within = sum(1 for lat in window if lat <= bound_s)
         within_total += within
         if within / len(window) >= sla.percentile:
             compliant += 1
+        else:
+            violations.append(SlaWindowViolation(
+                window_index=index,
+                window_start_s=start + index * sla.window_s,
+                samples=len(window),
+                within_fraction=within / len(window),
+                achieved_ms=percentile(sorted(window),
+                                       sla.percentile) * 1000.0,
+            ))
     return SlaReport(
         sla=sla,
         windows=len(windows),
         compliant_windows=compliant,
         overall_fraction=within_total / len(samples),
+        empty_windows=empty,
+        violations=tuple(violations),
     )
 
 

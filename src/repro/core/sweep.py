@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
+from repro.adaptive.policy import ADAPTIVE_POLICIES
 from repro.cassandra.consistency import ConsistencyLevel
 from repro.cluster.failure import FaultSpec
 # Imported here (not in repro.consistency's package init) so the sweep
@@ -32,20 +33,27 @@ from repro.consistency.explorer import (CHECK_CL_MODES,
                                         CheckScale,
                                         check_cells,
                                         check_sweep)
-from repro.core.config import (TailDefenseConfig,
+from repro.core.config import (AdaptiveConfig,
+                               CassandraConfig,
+                               ExperimentConfig,
+                               TailDefenseConfig,
                                default_micro_config,
                                default_stress_config,
                                scaled_stress_storage)
 from repro.core.runner import CellRunner, CellSpec, RunSpec, WarmSpec
 from repro.storage.lsm import StorageSpec
+from repro.ycsb.workload import STRESS_WORKLOADS
 
 __all__ = [
+    "ADAPTIVE_POLICIES",
+    "AdaptiveScale",
     "CHECK_CL_MODES",
     "CONSISTENCY_MODES",
     "CheckScale",
     "FAILOVER_CL_MODES",
     "FailoverScale",
     "MICRO_OP_ORDER",
+    "QUICK_ADAPTIVE_SCALE",
     "QUICK_CHECK_SCALE",
     "QUICK_FAILOVER_SCALE",
     "QUICK_TAIL_SCALE",
@@ -54,6 +62,8 @@ __all__ = [
     "TAIL_MODES",
     "TAIL_SCENARIOS",
     "TailScale",
+    "adaptive_cells",
+    "adaptive_sweep",
     "check_cells",
     "check_sweep",
     "consistency_stress_sweep",
@@ -559,4 +569,133 @@ def consistency_stress_sweep(scale: Optional[SweepScale] = None,
                 "peak_throughput": max(r for _, r in series),
             }
         out[cell.key] = per_workload
+    return out
+
+
+# -- Adaptive-consistency campaigns: policy x offered load ------------------
+
+@dataclass(frozen=True)
+class AdaptiveScale:
+    """Scale knobs for adaptive-consistency campaigns.
+
+    The scenario is calibrated so the three SLO forces all actively
+    pull on the controller:
+
+    - Storage runs at the micro tuning (tiny memtables, a 64 KB block
+      cache) so reads are disk-exposed and the latency gap between CL
+      ONE and QUORUM is wide (~35 vs ~105 ms p95 at the default load)
+      — the ``p95_ms`` SLO sits *between* them, so the latency half of
+      the SLO genuinely fights the staleness half.
+    - A replica crash early in each run makes weak reads *provably*
+      stale: the restarted node serves its pre-crash state until
+      hinted handoff replays, and ``hint_replay_interval_s`` throttles
+      that replay so the stale window is long enough for the oracle to
+      catch static-ONE breaking the declared bound.  (Healthy runs
+      show zero provable staleness here — FIFO per-node delivery means
+      fan-out mutations always beat later reads — which is exactly why
+      the campaign, like ``repro-bench check``, studies faults.)
+    - Read repair is disabled so the staleness window under test stays
+      open instead of being quietly closed by the anti-entropy path.
+    """
+
+    record_count: int = 300
+    n_threads: int = 8
+    n_nodes: int = 6
+    #: Offered-load ramp (ops/s).  Operation counts scale with the
+    #: target (``target x duration_s``) so every run spans the same
+    #: simulated time — and therefore the same fault schedule.
+    targets: tuple = (600.0, 1_200.0, 2_400.0)
+    duration_s: float = 4.0
+    #: The declared SLO (see :class:`repro.core.config.AdaptiveConfig`).
+    p95_ms: float = 50.0
+    staleness_s: float = 0.25
+    risk_rate: float = 0.002
+    window_s: float = 0.5
+    decay_windows: int = 3
+    #: Throttled hinted handoff: a restarted replica stays stale for up
+    #: to one interval.
+    hint_replay_interval_s: float = 3.0
+    #: Replica crash injected into every measured run (relative to the
+    #: run's start).
+    fault_at_s: float = 0.5
+    fault_duration_s: float = 1.5
+    seed: int = 0
+
+
+#: Fast settings for tests, CI smoke, and --quick campaigns: the one
+#: calibrated load point where the ONE/QUORUM p95 gap brackets the SLO.
+QUICK_ADAPTIVE_SCALE = AdaptiveScale(targets=(1_200.0,))
+
+
+def adaptive_cells(policies: Sequence[str] = ADAPTIVE_POLICIES,
+                   scale: Optional[AdaptiveScale] = None) -> list[CellSpec]:
+    """One cell per policy; each runs the offered-load ramp at RF 3
+    with the crash schedule armed and the consistency oracle recording."""
+    scale = scale or AdaptiveScale()
+    cells = []
+    for policy in policies:
+        if policy not in ADAPTIVE_POLICIES:
+            raise ValueError(f"unknown adaptive policy {policy!r}; "
+                             f"choose from {ADAPTIVE_POLICIES}")
+        config = ExperimentConfig(
+            db="cassandra",
+            workload=STRESS_WORKLOADS["read_mostly"],
+            record_count=scale.record_count,
+            operation_count=int(scale.targets[0] * scale.duration_s),
+            n_threads=scale.n_threads,
+            target_throughput=scale.targets[0],
+            n_nodes=scale.n_nodes,
+            seed=scale.seed,
+            # Micro storage tuning: disk-exposed reads (see class doc).
+            storage=StorageSpec(memtable_flush_bytes=32 * 1024,
+                                block_bytes=4 * 1024,
+                                block_cache_bytes=64 * 1024,
+                                compaction_min_batch=3,
+                                compaction_max_batch=8),
+            cassandra=CassandraConfig(
+                read_cl=ConsistencyLevel.ONE,
+                write_cl=ConsistencyLevel.ONE,
+                read_repair_chance=0.0,
+                blocking_read_repair=False,
+                hint_replay_interval_s=scale.hint_replay_interval_s),
+            adaptive=AdaptiveConfig(p95_ms=scale.p95_ms,
+                                    staleness_s=scale.staleness_s,
+                                    risk_rate=scale.risk_rate,
+                                    window_s=scale.window_s,
+                                    decay_windows=scale.decay_windows),
+            faults=(FaultSpec(kind="crash", node_id=0,
+                              at_s=scale.fault_at_s,
+                              duration_s=scale.fault_duration_s),))
+        cells.append(CellSpec(
+            key=policy,
+            label=f"adaptive/cassandra/{policy}",
+            config=config,
+            runs=tuple(RunSpec(workload="read_mostly",
+                               operation_count=int(target * scale.duration_s),
+                               target_throughput=target,
+                               faults=True, check=True, adaptive=policy)
+                       for target in scale.targets),
+            warm=None))
+    return cells
+
+
+def adaptive_sweep(policies: Sequence[str] = ADAPTIVE_POLICIES,
+                   scale: Optional[AdaptiveScale] = None,
+                   runner: Optional[CellRunner] = None) -> dict:
+    """Adaptive-consistency campaign: policy x offered-load ramp.
+
+    Returns ``{policy: {target: summary}}`` where each summary is a
+    :func:`~repro.core.experiment.summarize_run` dict carrying both the
+    ``decisions`` log (per-window CL timeline, policy counters, digest)
+    and the oracle's ``consistency`` report (violation counts and the
+    worst provable staleness lag) — the two halves the SLO is judged
+    against.
+    """
+    scale = scale or AdaptiveScale()
+    cells = adaptive_cells(policies, scale)
+    out: dict = {}
+    for cell, payload in zip(cells, _run(cells, runner)):
+        out[cell.key] = {target: summary
+                         for target, summary in zip(scale.targets,
+                                                    payload["runs"])}
     return out

@@ -67,6 +67,10 @@ class RunResult:
     #: :func:`repro.consistency.oracle.build_consistency_report`)
     #: attached when the cell ran with history recording enabled.
     consistency: Optional[dict] = None
+    #: JSON-safe adaptive-consistency decision log (see
+    #: :meth:`repro.adaptive.controller.AdaptiveController.summary`)
+    #: attached when the cell ran under an adaptive policy.
+    decisions: Optional[dict] = None
 
     def stats(self, op: str):
         return self.measurements.stats(op)

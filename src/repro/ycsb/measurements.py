@@ -149,11 +149,15 @@ class Measurements:
             p999=percentile(merged, 0.999),
         )
 
-    def timeline(self, bucket_s: float) -> list[tuple[float, int, float]]:
-        """(bucket start, ops completed, mean latency) per time bucket.
+    def timeline(self, bucket_s: float
+                 ) -> list[tuple[float, int, float, float, float]]:
+        """(bucket start, ops, mean, p95, p99 latency) per time bucket.
 
         Used by the failover probe to plot throughput/latency around a
-        crash, the way Pokluda et al. (paper §5) present theirs.
+        crash, the way Pokluda et al. (paper §5) present theirs, and by
+        the adaptive monitor / SLA reports, which need per-window
+        percentiles rather than means.  The percentiles use the same
+        nearest-rank definition as :func:`percentile`.
         """
         if bucket_s <= 0:
             raise ValueError("bucket_s must be positive")
@@ -162,19 +166,25 @@ class Measurements:
             for t, lat in op_samples)
         if not all_samples:
             return []
-        out: list[tuple[float, int, float]] = []
+
+        def bucket(start: float, acc: list[float]
+                   ) -> tuple[float, int, float, float, float]:
+            if not acc:
+                return (start, 0, 0.0, 0.0, 0.0)
+            acc = sorted(acc)
+            return (start, len(acc), sum(acc) / len(acc),
+                    percentile(acc, 0.95), percentile(acc, 0.99))
+
+        out: list[tuple[float, int, float, float, float]] = []
         bucket_start = (all_samples[0][0] // bucket_s) * bucket_s
         acc: list[float] = []
         for t, lat in all_samples:
             while t >= bucket_start + bucket_s:
-                if acc:
-                    out.append((bucket_start, len(acc), sum(acc) / len(acc)))
-                else:
-                    out.append((bucket_start, 0, 0.0))
+                out.append(bucket(bucket_start, acc))
                 bucket_start += bucket_s
                 acc = []
             acc.append(lat)
-        out.append((bucket_start, len(acc), sum(acc) / len(acc)))
+        out.append(bucket(bucket_start, acc))
         return out
 
     def timeline_with_errors(

@@ -367,6 +367,98 @@ class TestReadRepairLatencyPath:
         assert coordinator.stats["read_repairs"] == 1
 
 
+class TestPerRequestClOverride:
+    """The adaptive controller's actuation path: a per-request ``cl=``
+    override must reach the coordinator verbatim — honored when
+    satisfiable, an honest ``UnavailableError`` when not, never a silent
+    downgrade to the session default."""
+
+    def build(self):
+        env = Environment()
+        cluster = Cluster(env, ClusterSpec(n_nodes=5), RngRegistry(77))
+        cassandra = CassandraCluster(cluster, CassandraSpec(replication=3))
+        session = CassandraSession(cassandra, cassandra.client_node,
+                                   read_cl=ConsistencyLevel.ONE,
+                                   write_cl=ConsistencyLevel.ONE)
+        return env, cluster, cassandra, session
+
+    def test_read_override_reaches_coordinator(self):
+        env, _, cassandra, session = self.build()
+
+        def scenario():
+            key = key_for_index(0)
+            yield from session.insert(key, "x", 100)
+            yield from session.read(key, 100)  # session default: ONE
+            yield from session.read(key, 100, cl=ConsistencyLevel.QUORUM)
+
+        drive(env, scenario())
+        stats = cassandra.total_stats()
+        # The per-CL breakdown proves the override was coordinated at
+        # QUORUM rather than folded into the session's ONE.
+        assert stats["reads_ONE"] == 1
+        assert stats["reads_QUORUM"] == 1
+
+    def test_write_override_reaches_coordinator(self):
+        env, _, cassandra, session = self.build()
+
+        def scenario():
+            key = key_for_index(0)
+            yield from session.insert(key, "x", 100)
+            yield from session.insert(key, "y", 100,
+                                      cl=ConsistencyLevel.ALL)
+
+        drive(env, scenario())
+        stats = cassandra.total_stats()
+        assert stats["writes_ONE"] == 1
+        assert stats["writes_ALL"] == 1
+
+    def test_unreachable_read_override_raises_not_downgrades(self):
+        env, cluster, cassandra, session = self.build()
+
+        def scenario():
+            key = key_for_index(0)
+            yield from session.insert(key, "x", 100)
+            # Leave one replica alive: ONE is satisfiable, QUORUM is not.
+            for replica in cassandra.replicas_of(key)[1:]:
+                cluster.kill(replica)
+            try:
+                yield from session.read(key, 100,
+                                        cl=ConsistencyLevel.QUORUM)
+            except UnavailableError as exc:
+                message = str(exc)
+            else:
+                return "quorum read silently served"
+            # The same key at the session default still works — the
+            # override failed honestly instead of falling back to it.
+            value, _ts = yield from session.read(key, 100)
+            return message, value
+
+        message, value = drive(env, scenario())
+        assert message == "read QUORUM needs 2 replicas, 1 alive"
+        assert value == "x"
+        stats = cassandra.total_stats()
+        assert stats["reads_QUORUM"] == 1  # counted, then refused
+        assert stats["reads_ONE"] == 1
+
+    def test_unreachable_write_override_raises_not_downgrades(self):
+        env, cluster, cassandra, session = self.build()
+
+        def scenario():
+            key = key_for_index(0)
+            yield from session.insert(key, "x", 100)
+            for replica in cassandra.replicas_of(key)[1:]:
+                cluster.kill(replica)
+            try:
+                yield from session.insert(key, "y", 100,
+                                          cl=ConsistencyLevel.QUORUM)
+            except UnavailableError as exc:
+                return str(exc)
+            return "quorum write silently acked"
+
+        assert drive(env, scenario()) == \
+            "write QUORUM needs 2 replicas, 1 alive"
+
+
 class TestHedgedReads:
     """Rapid read protection: speculative data reads racing the primary."""
 

@@ -98,6 +98,65 @@ class TestCommands:
         assert "cached" in second.err
 
 
+class TestAdaptiveCommand:
+    def test_adaptive_parses(self):
+        args = build_parser().parse_args(
+            ["adaptive", "--quick", "--policy", "static-one",
+             "--policy", "stepwise", "--timeline", "--digests",
+             "--jobs", "4"])
+        assert args.command == "adaptive"
+        assert args.policies == ["static-one", "stepwise"]
+        assert args.timeline is True
+        assert args.digests is True
+        assert args.jobs == 4
+
+    def test_adaptive_defaults_all_policies(self):
+        args = build_parser().parse_args(["adaptive"])
+        assert args.policies is None  # cmd_adaptive expands to all
+        assert args.jobs == 1 and args.no_cache is False
+
+    def test_adaptive_invalid_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["adaptive", "--policy", "prayer"])
+
+    def test_adaptive_end_to_end_jobs_and_cache_identical(self, tmp_path,
+                                                          monkeypatch,
+                                                          capsys):
+        monkeypatch.setenv("REPRO_CELL_CACHE", str(tmp_path))
+        cells = ["--policy", "static-one", "--policy", "stepwise",
+                 "--timeline", "--digests"]
+        argv = ["adaptive", "--quick", "--jobs", "2", *cells]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "Adaptive consistency (cassandra, RF=3)" in first.out
+        assert "SLO: p95 <=" in first.out
+        assert "digest stepwise" in first.out
+        assert "decisions" in first.out  # timeline header
+        # Cached rerun is bit-identical (acceptance criterion).
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "cached" in second.err
+        # A serial run against the same cache matches too: jobs only
+        # changes scheduling, never decisions — the digest lines embed
+        # the decision-log identity.
+        assert main(["adaptive", "--quick", "--jobs", "1", *cells]) == 0
+        serial = capsys.readouterr()
+        assert serial.out == first.out
+
+    def test_adaptive_report_written(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CELL_CACHE", str(tmp_path / "cache"))
+        report = tmp_path / "adaptive.json"
+        argv = ["adaptive", "--quick", "--policy", "static-one",
+                "--report", str(report)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        import json as json_module
+        payload = json_module.loads(report.read_text())
+        summary = payload["static-one"]["1200.0"]
+        assert "decisions" in summary and "consistency" in summary
+
+
 class TestTailCommand:
     def test_tail_parses(self):
         args = build_parser().parse_args(

@@ -101,7 +101,27 @@ class TestMeasurements:
         for t in (0.1, 0.2, 1.5, 2.9):
             m.record("read", t, 0.01)
         timeline = m.timeline(1.0)
-        assert [ops for _, ops, _ in timeline] == [2, 1, 1]
+        assert [ops for _, ops, _, _, _ in timeline] == [2, 1, 1]
+
+    def test_timeline_bucket_percentiles_nearest_rank(self):
+        m = Measurements()
+        # One bucket of 100 samples: 99 fast, 1 slow outlier.
+        for i in range(99):
+            m.record("read", i * 0.001, 0.001)
+        m.record("read", 0.099, 1.0)
+        ((_, ops, mean, p95, p99),) = m.timeline(1.0)
+        assert ops == 100
+        latencies = sorted([0.001] * 99 + [1.0])
+        assert p95 == percentile(latencies, 0.95) == 0.001
+        assert p99 == percentile(latencies, 0.99) == 0.001
+        assert mean == pytest.approx(sum(latencies) / 100)
+
+    def test_timeline_empty_bucket_zero_percentiles(self):
+        m = Measurements()
+        m.record("read", 0.5, 0.01)
+        m.record("read", 2.5, 0.03)  # bucket [1, 2) is empty
+        timeline = m.timeline(1.0)
+        assert timeline[1] == (1.0, 0, 0.0, 0.0, 0.0)
 
     def test_timeline_invalid_bucket(self):
         with pytest.raises(ValueError):
@@ -155,7 +175,7 @@ class TestErrorAttribution:
             m.record("read", t, 0.01)
         with_errors = m.timeline_with_errors(1.0)
         assert [(start, ops) for start, ops, _, _ in with_errors] == \
-            [(start, ops) for start, ops, _ in m.timeline(1.0)]
+            [(start, ops) for start, ops, _, _, _ in m.timeline(1.0)]
         assert all(errors == 0 for _, _, _, errors in with_errors)
 
     def test_timeline_with_errors_invalid_bucket(self):
@@ -199,6 +219,41 @@ class TestSla:
                                      window_s=10))
         assert report.windows == 2
         assert report.compliant_windows == 1
+
+    def test_violation_names_window_and_percentile(self):
+        # Window 0 fast, window 1 slow: the report must say *which*
+        # window failed and what p95 it actually achieved.
+        latencies = [0.001] * 10 + [0.5] * 10
+        m = self.make_measurements(latencies, spacing=1.0)
+        report = evaluate_sla(m, Sla(percentile=0.95, latency_ms=10,
+                                     window_s=10))
+        assert len(report.violations) == 1
+        v = report.first_violation
+        assert v.window_index == 1
+        assert v.window_start_s == pytest.approx(10.0)
+        assert v.samples == 10
+        assert v.within_fraction == 0.0
+        assert v.achieved_ms == pytest.approx(500.0)
+
+    def test_satisfied_report_has_no_violations(self):
+        m = self.make_measurements([0.001] * 100)
+        report = evaluate_sla(m, Sla(percentile=0.95, latency_ms=10))
+        assert report.violations == ()
+        assert report.first_violation is None
+
+    def test_zero_sample_window_is_compliant_and_counted(self):
+        # Samples in windows 0 and 2 only; window 1 is idle.  The idle
+        # window cannot violate a latency SLA but must be surfaced.
+        m = Measurements()
+        m.record("read", 0.5, 0.001)
+        m.record("read", 25.0, 0.001)
+        report = evaluate_sla(m, Sla(percentile=0.95, latency_ms=10,
+                                     window_s=10))
+        assert report.windows == 3
+        assert report.compliant_windows == 3
+        assert report.empty_windows == 1
+        assert report.satisfied
+        assert report.violations == ()
 
     def test_empty_measurements(self):
         report = evaluate_sla(Measurements(),
