@@ -8,7 +8,9 @@ from repro.cassandra.consistency import ConsistencyLevel
 from repro.cassandra.coordinator import ReadTimeoutError, WriteTimeoutError
 from repro.cassandra.deployment import CassandraCluster
 from repro.cluster.node import Node
-from repro.cluster.topology import DeadlineExceeded, DeadNodeError, RpcTimeout
+from repro.cluster.topology import (DEFAULT_CLIENT_OVERHEAD_S,
+                                    DeadlineExceeded, DeadNodeError,
+                                    RpcTimeout)
 from repro.sim.resources import Overloaded
 
 __all__ = ["CassandraSession"]
@@ -40,7 +42,8 @@ class CassandraSession:
                  op_timeout_s: float = 10.0,
                  dc_aware: bool = True,
                  retries: int = 1,
-                 deadline_s: Optional[float] = None) -> None:
+                 deadline_s: Optional[float] = None,
+                 client_overhead_s: float = DEFAULT_CLIENT_OVERHEAD_S) -> None:
         self.cassandra = cassandra
         self.cluster = cassandra.cluster
         self.client_node = client_node
@@ -57,6 +60,11 @@ class CassandraSession:
         #: next round-robin coordinator (the DataStax driver's default
         #: RetryPolicy next-host behaviour).
         self.retries = retries
+        #: Driver-side CPU per operation (serialization, bookkeeping),
+        #: charged on the client node ahead of the first attempt's request
+        #: serialization — fused into the RPC's own core reservation so it
+        #: costs no extra kernel event (see ``Cluster._rpc_body``).
+        self.client_overhead_s = client_overhead_s
         self._rr_index = 0
         #: On geo clusters, prefer coordinators in the client's own
         #: datacenter (the driver's DCAwareRoundRobinPolicy default).
@@ -102,7 +110,8 @@ class CassandraSession:
                     self.client_node, coordinator, handler, make_payload(),
                     request_bytes=request_bytes,
                     response_bytes=response_bytes,
-                    timeout=self.op_timeout_s, deadline=deadline)
+                    timeout=self.op_timeout_s, deadline=deadline,
+                    src_cpu_s=self.client_overhead_s if attempt == 0 else 0.0)
             except DeadlineExceeded:
                 # The op's end-to-end budget is spent; retrying cannot
                 # help (the deadline covers all attempts).

@@ -32,7 +32,7 @@ from repro.cassandra.hints import Hint
 from repro.cluster.hedging import HedgePolicy
 from repro.cluster.topology import DeadlineExceeded, RpcTimeout
 from repro.sim.kernel import (AllOf, AnyOf, Environment, Event, Interrupt,
-                              Process)
+                              Process, Timeout)
 from repro.sim.resources import Overloaded
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -42,6 +42,12 @@ __all__ = ["Coordinator", "ReadTimeoutError", "WriteTimeoutError", "wait_for_k"]
 
 #: CPU charged on the coordinator per request it coordinates.
 _COORD_CPU_S = 1.2e-5
+
+#: Hot-path lookup tables (one enum construction / f-string per request
+#: is measurable at stress-cell scale).
+_CL_BY_VALUE = {cl.value: cl for cl in ConsistencyLevel}
+_WRITES_KEY = {cl: f"writes_{cl.value}" for cl in ConsistencyLevel}
+_READS_KEY = {cl: f"reads_{cl.value}" for cl in ConsistencyLevel}
 
 
 class WriteTimeoutError(Exception):
@@ -67,26 +73,39 @@ def wait_for_k(env: Environment, procs: list[Process], k: int,
     """
     if k <= 0:
         return
-    if k > len(procs):
+    n = len(procs)
+    if k > n:
         raise failure
     done = env.event()
-    state = {"ok": 0, "finished": 0}
+    state = [0, 0]  # successes, finished
+
+    def settle(ok: bool, value) -> None:
+        # Inline completion (no queue round-trip): either nobody has
+        # subscribed yet (the caller checks the fast path below before
+        # yielding) or the subscribers are waiting processes, which the
+        # kernel would invoke with exactly this call.
+        done._ok = ok
+        done._value = value
+        callbacks = done.callbacks
+        done.callbacks = None
+        for callback in callbacks:
+            callback(done)
 
     def check(event: Event) -> None:
-        state["finished"] += 1
-        if not event.ok:
-            event.defuse()
-        elif not isinstance(event.value, Exception):
-            state["ok"] += 1
-        if done.triggered:
+        state[1] += 1
+        if not event._ok:
+            event._defused = True
+        elif not isinstance(event._value, Exception):
+            state[0] += 1
+        if done.callbacks is None:
             return
-        if state["ok"] >= k:
-            done.succeed()
-        elif state["finished"] == len(procs):
-            done.fail(failure)
+        if state[0] >= k:
+            settle(True, None)
+        elif state[1] == n:
+            settle(False, failure)
 
     for proc in procs:
-        if proc.processed:
+        if proc.callbacks is None:
             check(proc)
         else:
             proc.callbacks.append(check)
@@ -147,7 +166,7 @@ class Coordinator:
                 self._local_catching(
                     owner.local_mutate(key, value, size, timestamp,
                                        deadline)),
-                name="local-mutate")
+                name="local-mutate", eager=True)
         return owner.cluster.call_async(
             owner.node, owner.cluster.node(replica_id), "c.mutate",
             (key, value, size, timestamp, deadline), request_bytes=size + 60,
@@ -162,7 +181,7 @@ class Coordinator:
             gen = (owner.local_read_digest(key, deadline) if digest
                    else owner.local_read_data(key, deadline))
             return self.env.process(self._local_catching(gen),
-                                    name="local-read")
+                                    name="local-read", eager=True)
         verb = "c.read_digest" if digest else "c.read_data"
         return owner.cluster.call_async(
             owner.node, owner.cluster.node(replica_id), verb,
@@ -215,13 +234,18 @@ class Coordinator:
     def _write(self, payload) -> Generator:
         key, value, size, timestamp, cl_name, *rest = payload
         deadline = rest[0] if rest else None
-        cl = ConsistencyLevel(cl_name)
-        self.stats["writes"] += 1
+        cl = _CL_BY_VALUE.get(cl_name) or ConsistencyLevel(cl_name)
+        stats = self.stats
+        stats["writes"] += 1
         # Per-CL breakdown: under an adaptive policy a single run mixes
         # levels, and the decision-log cross-check sums these.
-        key_by_cl = f"writes_{cl.value}"
-        self.stats[key_by_cl] = self.stats.get(key_by_cl, 0) + 1
-        yield from self.owner.node.cpu_work(_COORD_CPU_S)
+        key_by_cl = _WRITES_KEY[cl]
+        stats[key_by_cl] = stats.get(key_by_cl, 0) + 1
+        node = self.owner.node
+        end = node.reserve_cpu(_COORD_CPU_S)
+        env = node.env
+        if end > env._now:
+            yield Timeout(env, end - env._now)
         alive, replication = self._alive_replicas(key)
         required, ordered, ack_pool = self._plan(cl, alive, replication)
         if len(alive) < required:
@@ -271,11 +295,16 @@ class Coordinator:
     def _read(self, payload) -> Generator:
         key, cl_name, expected_bytes, *rest = payload
         deadline = rest[0] if rest else None
-        cl = ConsistencyLevel(cl_name)
-        self.stats["reads"] += 1
-        key_by_cl = f"reads_{cl.value}"
-        self.stats[key_by_cl] = self.stats.get(key_by_cl, 0) + 1
-        yield from self.owner.node.cpu_work(_COORD_CPU_S)
+        cl = _CL_BY_VALUE.get(cl_name) or ConsistencyLevel(cl_name)
+        stats = self.stats
+        stats["reads"] += 1
+        key_by_cl = _READS_KEY[cl]
+        stats[key_by_cl] = stats.get(key_by_cl, 0) + 1
+        node = self.owner.node
+        end = node.reserve_cpu(_COORD_CPU_S)
+        env = node.env
+        if end > env._now:
+            yield Timeout(env, end - env._now)
         spec = self.owner.spec
         alive, replication = self._alive_replicas(key)
         required, ordered, _ack_pool = self._plan(cl, alive, replication)

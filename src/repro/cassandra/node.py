@@ -102,8 +102,11 @@ class CassandraNode:
         self.ops["mutate"] += 1
         slot = yield from self._acquire_slot(deadline)
         try:
-            yield from self.node.cpu_work(_VERB_CPU_S)
-            yield from self.tree.put(key, value, size, timestamp)
+            # The verb's CPU charge rides the same core reservation as
+            # the storage-engine put (one timeout event, same total
+            # service time).
+            yield from self.tree.put(key, value, size, timestamp,
+                                     extra_cpu_s=_VERB_CPU_S)
         finally:
             self._release_slot(slot)
         return True
@@ -115,8 +118,7 @@ class CassandraNode:
         self.ops["read_data"] += 1
         slot = yield from self._acquire_slot(deadline)
         try:
-            yield from self.node.cpu_work(_VERB_CPU_S)
-            result = yield from self.tree.get(key)
+            result = yield from self.tree.get(key, extra_cpu_s=_VERB_CPU_S)
         finally:
             self._release_slot(slot)
         return result
@@ -132,8 +134,7 @@ class CassandraNode:
         self.ops["read_digest"] += 1
         slot = yield from self._acquire_slot(deadline)
         try:
-            yield from self.node.cpu_work(_VERB_CPU_S)
-            result = yield from self.tree.get(key)
+            result = yield from self.tree.get(key, extra_cpu_s=_VERB_CPU_S)
         finally:
             self._release_slot(slot)
         return None if result is None else result[1]

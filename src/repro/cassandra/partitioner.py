@@ -39,6 +39,12 @@ class TokenRing:
         pairs.sort()
         self._tokens = [t for t, _ in pairs]
         self._owners = [o for _, o in pairs]
+        #: (primary ring index, replication) -> replica list.  The ring
+        #: is immutable after construction, so placement per segment is
+        #: too; the cache is bounded by vnode count x distinct RFs.
+        #: Callers treat the returned list as read-only (they copy or
+        #: comprehend, never mutate).
+        self._replica_cache: dict[tuple[int, int], list[int]] = {}
 
     def primary_index(self, token: int) -> int:
         """Ring position owning ``token`` (first vnode clockwise)."""
@@ -51,15 +57,19 @@ class TokenRing:
         The first element is the *main replica* — the paper notes Cassandra
         orders replicas deterministically and always involves the first.
         """
-        replication = min(replication, len(self.node_ids))
-        replicas: list[int] = []
         idx = self.primary_index(token)
+        cached = self._replica_cache.get((idx, replication))
+        if cached is not None:
+            return cached
+        capped = min(replication, len(self.node_ids))
+        replicas: list[int] = []
         steps = 0
-        while len(replicas) < replication and steps < len(self._tokens):
+        while len(replicas) < capped and steps < len(self._tokens):
             owner = self._owners[(idx + steps) % len(self._tokens)]
             if owner not in replicas:
                 replicas.append(owner)
             steps += 1
+        self._replica_cache[(idx, replication)] = replicas
         return replicas
 
     def replicas_for_key(self, key: str, replication: int) -> list[int]:

@@ -70,9 +70,12 @@ class _GeoNetwork:
         self._rng = rng
         self.messages = 0
 
-    def transit(self, src: Nic, dst: Nic, size: int) -> Generator:
-        self.messages += 1
-        yield from src.send(size)
+    def sample_latency(self, src: Nic, dst: Nic, size: int = 0) -> float:
+        """One hop delay draw, priced by the endpoints' datacenters.
+
+        Cross-DC hops pay the configured region latency plus WAN
+        serialization at the thinner inter-DC bandwidth.
+        """
         src_dc = self.geo.datacenter_of_nic(src)
         dst_dc = self.geo.datacenter_of_nic(dst)
         spec = self.geo.spec
@@ -84,7 +87,12 @@ class _GeoNetwork:
             # WAN serialization at the thinner inter-DC bandwidth.
             extra = size / spec.wan_bandwidth_bps
         factor = 0.7 + self._rng.expovariate(1.0 / 0.6)
-        yield self.env.timeout(base * factor + extra)
+        return base * factor + extra
+
+    def transit(self, src: Nic, dst: Nic, size: int) -> Generator:
+        self.messages += 1
+        yield from src.send(size)
+        yield self.env.timeout(self.sample_latency(src, dst, size))
         yield from dst.receive(size)
 
 
@@ -126,6 +134,9 @@ class GeoCluster:
         #: Requests whose propagated deadline expired before the server
         #: started them (see :class:`repro.cluster.topology.Cluster`).
         self.abandoned_rpcs = 0
+        #: Shared RPC-timer pool (see :class:`Cluster`).
+        self._timers: dict[float, object] = {}
+        self._timer_prune_at = 256
 
     # -- Cluster API compatibility ----------------------------------------
 
@@ -170,29 +181,28 @@ class GeoCluster:
     # -- RPC (same protocol as Cluster) ---------------------------------
 
     def _rpc_body(self, src, dst, verb, payload, request_bytes,
-                  response_bytes, deadline=None):
+                  response_bytes, deadline=None, src_cpu_s=0.0):
         from repro.cluster.topology import Cluster
         return Cluster._rpc_body(self, src, dst, verb, payload,
-                                 request_bytes, response_bytes, deadline)
+                                 request_bytes, response_bytes, deadline,
+                                 src_cpu_s)
 
     def call(self, src, dst, verb, payload=None, request_bytes=0,
              response_bytes=0, timeout: Optional[float] = None,
-             deadline: Optional[float] = None):
+             deadline: Optional[float] = None, src_cpu_s: float = 0.0):
         from repro.cluster.topology import Cluster
         return Cluster.call(self, src, dst, verb, payload, request_bytes,
-                            response_bytes, timeout, deadline)
+                            response_bytes, timeout, deadline, src_cpu_s)
 
     def call_async(self, src, dst, verb, payload=None, request_bytes=0,
                    response_bytes=0, timeout: Optional[float] = None,
-                   deadline: Optional[float] = None):
+                   deadline: Optional[float] = None,
+                   src_cpu_s: float = 0.0):
         from repro.cluster.topology import Cluster
         return Cluster.call_async(self, src, dst, verb, payload,
                                   request_bytes, response_bytes, timeout,
-                                  deadline)
+                                  deadline, src_cpu_s)
 
-    def _call_catching(self, src, dst, verb, payload, request_bytes,
-                       response_bytes, timeout, deadline=None):
+    def _shared_timer(self, wait_s: float, exact: bool = False):
         from repro.cluster.topology import Cluster
-        return Cluster._call_catching(self, src, dst, verb, payload,
-                                      request_bytes, response_bytes,
-                                      timeout, deadline)
+        return Cluster._shared_timer(self, wait_s, exact=exact)

@@ -15,10 +15,10 @@ replication-factor sweeps exercise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator
+from math import log
+from typing import Generator, Optional
 
-from repro.sim.kernel import Environment
-from repro.sim.resources import Resource
+from repro.sim.kernel import Environment, Timeout
 
 __all__ = ["Network", "NetworkSpec", "Nic"]
 
@@ -43,35 +43,70 @@ class NetworkSpec:
 
 
 class Nic:
-    """A full-duplex NIC: independent egress and ingress channels."""
+    """A full-duplex NIC: independent egress and ingress channels.
+
+    Each channel is a *busy-until reservation*: serializations are FIFO,
+    capacity one, and never cancelled, so ``start = max(now, busy_until)``
+    reproduces a wait queue exactly while costing a single timeout event
+    instead of a resource round-trip — the NIC is on the path of every
+    RPC byte, which made the old ``Resource`` machinery the single
+    biggest event source in stress-cell profiles.
+    """
 
     def __init__(self, env: Environment, spec: NetworkSpec) -> None:
         self.env = env
         self.spec = spec
-        self._egress = Resource(env, capacity=1)
-        self._ingress = Resource(env, capacity=1)
+        self._egress_busy = 0.0
+        self._ingress_busy = 0.0
         self.bytes_sent = 0
         self.bytes_received = 0
         #: Fault-injection hook: serialization-time multiplier (>= 1).
         #: Packet loss and added latency both surface to flows as a lower
         #: effective bandwidth, so a degraded NIC is modelled as a slower
         #: one (see :class:`repro.cluster.failure.NicDegradeFault`).
+        #: Read at reservation time: messages already queued keep the
+        #: rate they reserved under.
         self.slowdown = 1.0
 
-    def _serialize(self, channel: Resource, size: int) -> Generator:
-        with channel.request() as req:
-            yield req
-            yield self.env.timeout(
-                self.slowdown * (size + self.spec.header_bytes)
-                / self.spec.bandwidth_bps)
+    def reserve_egress(self, size: int, at: float = 0.0) -> float:
+        """Book the egress channel for ``size`` bytes starting no earlier
+        than ``at``; returns the completion time (absolute)."""
+        self.bytes_sent += size
+        spec = self.spec
+        start = self.env._now
+        if at > start:
+            start = at
+        if self._egress_busy > start:
+            start = self._egress_busy
+        done = start + (self.slowdown * (size + spec.header_bytes)
+                        / spec.bandwidth_bps)
+        self._egress_busy = done
+        return done
+
+    def reserve_ingress(self, size: int, at: float = 0.0) -> float:
+        """Book the ingress channel for ``size`` bytes starting no earlier
+        than ``at``; returns the completion time (absolute)."""
+        self.bytes_received += size
+        spec = self.spec
+        start = self.env._now
+        if at > start:
+            start = at
+        if self._ingress_busy > start:
+            start = self._ingress_busy
+        done = start + (self.slowdown * (size + spec.header_bytes)
+                        / spec.bandwidth_bps)
+        self._ingress_busy = done
+        return done
 
     def send(self, size: int) -> Generator:
-        self.bytes_sent += size
-        yield from self._serialize(self._egress, size)
+        done = self.reserve_egress(size)
+        if done > self.env.now:
+            yield self.env.timeout(done - self.env.now)
 
     def receive(self, size: int) -> Generator:
-        self.bytes_received += size
-        yield from self._serialize(self._ingress, size)
+        done = self.reserve_ingress(size)
+        if done > self.env.now:
+            yield self.env.timeout(done - self.env.now)
 
 
 class Network:
@@ -81,18 +116,44 @@ class Network:
         self.env = env
         self.spec = spec
         self._rng = rng
+        self._random = rng.random
         self.messages = 0
+
+    def sample_latency(self, src: Optional[Nic] = None,
+                       dst: Optional[Nic] = None, size: int = 0) -> float:
+        """One switch-hop delay draw (floor plus exponential tail).
+
+        ``src``/``dst``/``size`` are ignored on the single-rack fabric —
+        every hop crosses the same switch — but belong to the signature
+        so topology-aware fabrics (the geo cluster) can price the hop by
+        endpoint pair and message size.  The exponential draw is inlined
+        (one uniform draw, same distribution as ``expovariate``): this
+        runs twice per RPC message.
+        """
+        spec = self.spec
+        factor = spec.latency_floor
+        tail = spec.latency_tail
+        if tail:
+            factor -= log(1.0 - self._random()) * tail
+        return spec.base_latency_s * factor
 
     def transit(self, src: Nic, dst: Nic, size: int) -> Generator:
         """Deliver ``size`` bytes from ``src`` to ``dst`` (a process).
 
-        Completes when the last byte has been received.
+        Completes when the last byte has been received.  Egress
+        serialization and the switch hop are fused into one timeout (the
+        wire delay is a pure delay after the reserved egress slot, so
+        nothing can observe the intermediate instant); ingress is
+        reserved on arrival, preserving arrival-order queueing at the
+        receiver.
         """
         self.messages += 1
-        yield from src.send(size)
-        spec = self.spec
-        factor = spec.latency_floor
-        if spec.latency_tail:
-            factor += self._rng.expovariate(1.0 / spec.latency_tail)
-        yield self.env.timeout(spec.base_latency_s * factor)
-        yield from dst.receive(size)
+        env = self.env
+        arrival = src.reserve_egress(size) + self.sample_latency()
+        now = env._now
+        if arrival > now:
+            yield Timeout(env, arrival - now)
+        done = dst.reserve_ingress(size)
+        now = env._now
+        if done > now:
+            yield Timeout(env, done - now)

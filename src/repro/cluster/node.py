@@ -8,12 +8,12 @@ drive, gigabit ethernet.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heapreplace
 from typing import Callable, Generator
 
 from repro.cluster.disk import Disk, DiskSpec
 from repro.cluster.nic import NetworkSpec, Nic
-from repro.sim.kernel import Environment
-from repro.sim.resources import Resource
+from repro.sim.kernel import Environment, Timeout
 
 __all__ = ["Node", "NodeSpec"]
 
@@ -47,7 +47,12 @@ class Node:
         self.env = env
         self.node_id = node_id
         self.spec = spec
-        self.cpu = Resource(env, capacity=spec.cores)
+        #: Per-core free-at times (a heap).  CPU claims are FIFO and
+        #: never cancelled, so reserving ``start = max(now, earliest
+        #: free core)`` is exactly a ``Resource(capacity=cores)`` wait
+        #: queue at a fraction of the event cost — ``cpu_work`` runs
+        #: several times per RPC.
+        self._core_free = [0.0] * spec.cores
         self.disk = Disk(env, spec.disk, rng)
         self.nic = Nic(env, spec.network)
         #: RPC verb -> handler.  A handler is a callable
@@ -78,13 +83,36 @@ class Node:
         """
         if seconds <= 0:
             return
-        self._advance_gc_schedule()
-        if self.paused_until > self.env.now:
-            yield self.env.timeout(self.paused_until - self.env.now)
-        with self.cpu.request() as req:
-            yield req
-            self.cpu_time += seconds
-            yield self.env.timeout(seconds)
+        end = self.reserve_cpu(seconds)
+        now = self.env._now
+        if end > now:
+            yield Timeout(self.env, end - now)
+
+    def reserve_cpu(self, seconds: float, at: float = 0.0) -> float:
+        """Book a core for ``seconds`` starting no earlier than ``at``
+        (and no earlier than now); returns the absolute completion time.
+
+        CPU claims are FIFO and never cancelled, so ``start = max(at,
+        now, earliest free core, GC pause end)`` reproduces a
+        ``Resource(capacity=cores)`` wait queue exactly, at a single
+        timeout event instead of a request round-trip.
+        """
+        start = self.env._now
+        if at > start:
+            start = at
+        if self._gc_enabled:
+            # paused_until only ever advances from the schedule, so a
+            # node with GC disabled can skip both checks entirely.
+            self._advance_gc_schedule()
+            if self.paused_until > start:
+                start = self.paused_until
+        earliest = self._core_free[0]
+        if earliest > start:
+            start = earliest
+        end = start + seconds
+        heapreplace(self._core_free, end)
+        self.cpu_time += seconds
+        return end
 
     def _advance_gc_schedule(self) -> None:
         """Materialize the GC pause schedule up to "now".

@@ -21,16 +21,29 @@ database models need:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import ceil
 from typing import Any, Generator, Optional
 
 from repro.cluster.nic import Network, NetworkSpec
 from repro.cluster.node import Node, NodeSpec
-from repro.sim.kernel import AnyOf, Environment, Interrupt, Process
+from repro.sim.kernel import (URGENT, Environment, Event, Interrupt, Timeout,
+                              _PENDING)
 from repro.sim.resources import Overloaded
 from repro.sim.rng import RngRegistry
 
-__all__ = ["Cluster", "ClusterSpec", "DeadNodeError", "DeadlineExceeded",
-           "RpcTimeout"]
+__all__ = ["AsyncCall", "Cluster", "ClusterSpec", "DeadNodeError",
+           "DeadlineExceeded", "DEFAULT_CLIENT_OVERHEAD_S", "RpcTimeout"]
+
+#: Client-side CPU per operation (driver serialization, thread wake-up).
+#: The paper's methodology section is explicit that client-side latency
+#: exists and must be controlled by thread-count choice; charging it on
+#: the client node makes the single client machine a realistic, shared
+#: resource (the paper dedicates one of the 16 machines to YCSB).  The
+#: database clients fold it into the request leg's core reservation via
+#: ``call(..., src_cpu_s=...)`` so it costs no extra kernel event.
+#: Defined here (not in ``repro.ycsb.client``) because both database
+#: driver packages need it and importing from ycsb would be circular.
+DEFAULT_CLIENT_OVERHEAD_S = 2e-4
 
 #: Sentinel response meaning "the callee was dead; no response will come".
 _NO_RESPONSE = object()
@@ -38,6 +51,10 @@ _NO_RESPONSE = object()
 #: Sentinel response meaning "the request arrived after its deadline and
 #: was abandoned server-side; no useful response exists".
 _EXPIRED = object()
+
+#: Interrupt cause used by the shared RPC timer to distinguish its own
+#: expiry from an external (hedge-loser) cancellation.
+_TIMED_OUT = object()
 
 
 class RpcTimeout(Exception):
@@ -56,6 +73,65 @@ class DeadlineExceeded(RpcTimeout):
 
 class DeadNodeError(Exception):
     """An RPC without a deadline targeted a dead node."""
+
+
+class AsyncCall(Event):
+    """Completion event of a fire-and-forget RPC (:meth:`Cluster.call_async`).
+
+    Always *succeeds*; failures arrive as exception **values** — the
+    fan-out convention, so a condition over many replicas never crashes
+    on one slow callee: :class:`RpcTimeout`/:class:`DeadlineExceeded`
+    when the timer wins, :class:`~repro.sim.resources.Overloaded` when
+    the callee shed the request, :class:`~repro.sim.kernel.Interrupt`
+    when the caller cancelled (hedge loser).  The body process keeps
+    running server-side in every case — cancellation does not reach over
+    the wire — which is what lets late replica writes land and keep the
+    staleness/hinted-handoff semantics honest.
+
+    Completion is settled *inline* from the body's (or the shared
+    timer's) dispatch, so the result itself never costs a queue event.
+    """
+
+    __slots__ = ("proc",)
+
+    def __init__(self, env: Environment, proc: Any) -> None:
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
+        #: The underlying RPC body process (``None`` for a call that
+        #: failed before send, e.g. a pre-spent deadline).
+        self.proc = proc
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the caller-side wait is still undecided."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Cancel the caller-side wait; the RPC drains server-side.
+
+        Mirrors :meth:`~repro.sim.kernel.Process.interrupt` delivery:
+        the result triggers through the queue (urgently), never inline —
+        the interrupter is mid-execution and its waiters must not run
+        inside its frame.
+        """
+        if self._value is not _PENDING:
+            return
+        if self.proc is not None:
+            # Late body outcomes (including failures) are noise now.
+            self.proc._defused = True
+        self._value = Interrupt(cause)
+        self.env._schedule(self, URGENT, 0.0)
+
+    def _settle(self, value: Any) -> None:
+        """Complete inline with ``value`` (called from kernel dispatch)."""
+        self._value = value
+        callbacks = self.callbacks
+        self.callbacks = None
+        for callback in callbacks:
+            callback(self)
 
 
 @dataclass(frozen=True)
@@ -89,6 +165,47 @@ class Cluster:
         #: Requests that arrived at the callee after their deadline and
         #: were abandoned before the handler ran.
         self.abandoned_rpcs = 0
+        #: Absolute fire time -> pending shared timeout.  A replication
+        #: fan-out issues R RPCs at the same instant with the same
+        #: timeout; batching them onto one timer event cuts R-1 timer
+        #: allocations *and* R-1 queue entries per fan-out.
+        self._timers: dict[float, Any] = {}
+        self._timer_prune_at = 256
+
+    def _shared_timer(self, wait_s: float, exact: bool = False):
+        """A timeout firing ``wait_s`` (or a hair later) from now.
+
+        Timeout events are multi-subscriber, so every RPC racing against
+        the same absolute expiry can watch one queue entry.  Entries are
+        pruned lazily once fired (the dict stays bounded by the number of
+        distinct in-flight expiry times).
+
+        Non-``exact`` expiries are rounded *up* onto a wheel whose tick
+        is 1/32 of the requested wait — the hashed-timer-wheel scheme
+        production RPC stacks use (Netty/Cassandra tick every ~100 ms),
+        where a timeout is a failure detector, never a precision clock.
+        Rounding up means a timer is never early, at most ~3% late; in
+        exchange every RPC issued within the same tick shares one queue
+        entry instead of allocating its own never-to-fire timeout.
+        ``exact`` is for deadline-driven waits, where the remaining
+        budget must not be silently extended.
+        """
+        fire_at = self.env.now + wait_s
+        if not exact:
+            tick = wait_s * 0.03125
+            fire_at = ceil(fire_at / tick) * tick
+        timer = self._timers.get(fire_at)
+        if timer is None or timer.callbacks is None:
+            timer = self.env.timeout(fire_at - self.env.now)
+            self._timers[fire_at] = timer
+            if len(self._timers) > self._timer_prune_at:
+                # Amortized O(1): double the threshold relative to the
+                # live set so the rebuild cost stays a vanishing
+                # fraction of inserts.
+                self._timers = {t: e for t, e in self._timers.items()
+                                if e.callbacks is not None}
+                self._timer_prune_at = max(256, 2 * len(self._timers))
+        return timer
 
     def node(self, node_id: int) -> Node:
         return self.nodes[node_id]
@@ -105,41 +222,80 @@ class Cluster:
 
     def _rpc_body(self, src: Node, dst: Node, verb: str, payload: Any,
                   request_bytes: int, response_bytes: int,
-                  deadline: Optional[float] = None) -> Generator:
-        envelope = self.spec.envelope_bytes
-        yield from src.cpu_work(self.spec.rpc_cpu_s)
-        yield from self.network.transit(src.nic, dst.nic,
-                                        request_bytes + envelope)
+                  deadline: Optional[float] = None,
+                  src_cpu_s: float = 0.0) -> Generator:
+        """One RPC round trip, as a pipeline of stage reservations.
+
+        Each leg (caller CPU, egress serialization, switch hop, ingress
+        serialization, callee CPU) is booked up front against the
+        busy-until accumulators and collapsed into ONE timeout per
+        direction — versus the seven queue events the step-by-step
+        version cost per message.  Booking a downstream stage at the
+        upstream stage's completion time is *optimistic reservation*: a
+        message starting later but reaching a shared stage earlier keeps
+        FIFO order by reservation, not by arrival — a standard
+        fast-simulator tradeoff that is exact whenever stages are
+        uncontended and microseconds off otherwise.  Liveness and
+        deadline checks happen when the request reaches the handler
+        (previously: on wire arrival, a few tens of microseconds
+        earlier).
+        """
+        env = self.env
+        spec = self.spec
+        network = self.network
+        rpc_cpu = spec.rpc_cpu_s
+        size = request_bytes + spec.envelope_bytes
+        network.messages += 1
+        # ``src_cpu_s`` folds the caller's own pre-request CPU charge
+        # (driver bookkeeping) into the same core reservation as the
+        # request serialization — one timeout instead of two on every
+        # client-issued operation.
+        cpu_done = src.reserve_cpu(src_cpu_s + rpc_cpu)
+        arrival = (src.nic.reserve_egress(size, at=cpu_done)
+                   + network.sample_latency(src.nic, dst.nic, size))
+        handler_at = dst.reserve_cpu(
+            rpc_cpu, at=dst.nic.reserve_ingress(size, at=arrival))
+        now = env._now
+        if handler_at > now:
+            yield Timeout(env, handler_at - now)
         if not dst.alive:
             return _NO_RESPONSE
-        if deadline is not None and self.env.now >= deadline:
+        if deadline is not None and env._now >= deadline:
             # Deadline propagation: the budget is already spent when the
             # request arrives, so the callee drops it without computing a
             # result nobody will read (the caller's own timer fires).
             self.abandoned_rpcs += 1
             return _EXPIRED
-        yield from dst.cpu_work(self.spec.rpc_cpu_s)
         handler = dst.handlers.get(verb)
         if handler is None:
             raise LookupError(f"node {dst.node_id} has no handler for {verb!r}")
         result = yield from handler(payload)
         if not dst.alive:
             return _NO_RESPONSE
-        yield from self.network.transit(dst.nic, src.nic,
-                                        response_bytes + envelope)
-        yield from src.cpu_work(self.spec.rpc_cpu_s)
+        size = response_bytes + spec.envelope_bytes
+        network.messages += 1
+        back = (dst.nic.reserve_egress(size)
+                + network.sample_latency(dst.nic, src.nic, size))
+        done = src.reserve_cpu(rpc_cpu, at=src.nic.reserve_ingress(size,
+                                                                   at=back))
+        now = env._now
+        if done > now:
+            yield Timeout(env, done - now)
         return result
 
     def call(self, src: Node, dst: Node, verb: str, payload: Any = None,
              request_bytes: int = 0, response_bytes: int = 0,
              timeout: Optional[float] = None,
-             deadline: Optional[float] = None) -> Generator:
+             deadline: Optional[float] = None,
+             src_cpu_s: float = 0.0) -> Generator:
         """Perform an RPC from the calling process (``yield from`` this).
 
         Returns the handler's return value.  Raises :class:`RpcTimeout`
         when ``timeout`` elapses first, :class:`DeadlineExceeded` when the
         absolute ``deadline`` passes first, or :class:`DeadNodeError`
         when the callee is dead and neither bound was given.
+        ``src_cpu_s`` is extra caller-side CPU charged ahead of the
+        request serialization (see :meth:`_rpc_body`).
         """
         self.rpc_count += 1
         if deadline is not None and self.env.now >= deadline:
@@ -155,34 +311,54 @@ class Cluster:
                 deadline_first = True
         if wait_s is None:
             result = yield from self._rpc_body(
-                src, dst, verb, payload, request_bytes, response_bytes)
+                src, dst, verb, payload, request_bytes, response_bytes,
+                src_cpu_s=src_cpu_s)
             if result is _NO_RESPONSE:
                 raise DeadNodeError(
                     f"rpc {verb!r} to dead node {dst.node_id} (no timeout set)")
             return result
-        body = self.env.process(
+        # Static name: an f-string per RPC is measurable at stress scale.
+        env = self.env
+        body = env.process(
             self._rpc_body(src, dst, verb, payload, request_bytes,
-                           response_bytes, deadline=deadline),
-            name=f"rpc-{verb}-{dst.node_id}")
-        timer = self.env.timeout(wait_s)
-        race = AnyOf(self.env, [body, timer])
+                           response_bytes, deadline=deadline,
+                           src_cpu_s=src_cpu_s),
+            name=verb, eager=True)
+        # Instead of an AnyOf race (a condition allocation plus an extra
+        # queue event on every RPC), wait on the body directly and let
+        # the shared timer interrupt this process if it fires while the
+        # body is still the wait target.  The `_target is body` guard
+        # disarms the timer automatically the moment the caller moves on
+        # (completion, interruption or termination).
+        timer = self._shared_timer(wait_s, exact=deadline_first)
+        caller = env.active_process
+
+        def _expire(_timer: Any, caller: Any = caller, body: Any = body) -> None:
+            if caller._target is body:
+                caller.interrupt(_TIMED_OUT)
+
+        timer.callbacks.append(_expire)
         try:
-            outcome = yield race
-        except Interrupt:
-            # Hedge-loser cancellation: the caller abandoned this RPC.
-            # The in-flight body keeps running server-side (cancellation
-            # does not reach over the wire), so defuse both the race and
-            # the body lest a late handler failure crash the kernel.
-            race.defuse()
+            result = yield body
+        except Interrupt as exc:
+            # The body keeps running server-side either way (cancellation
+            # does not reach over the wire), so defuse it lest a late
+            # handler failure crash the kernel.
             body.defuse()
-            raise
-        if body in outcome and outcome[body] is not _NO_RESPONSE \
-                and outcome[body] is not _EXPIRED:
-            return outcome[body]
-        if body in outcome:
-            # Dead callee or server-side abandonment: the caller still
-            # waits out its own timer before giving up.
-            yield timer
+            if exc.cause is not _TIMED_OUT:
+                # Hedge-loser cancellation: the caller abandoned this RPC.
+                raise
+            if deadline_first:
+                raise DeadlineExceeded(
+                    f"rpc {verb!r} to node {dst.node_id} exceeded its "
+                    f"deadline")
+            raise RpcTimeout(f"rpc {verb!r} to node {dst.node_id} timed "
+                             f"out after {timeout}s")
+        if result is not _NO_RESPONSE and result is not _EXPIRED:
+            return result
+        # Dead callee or server-side abandonment: the caller still waits
+        # out its own timer before giving up.
+        yield timer
         if deadline_first:
             raise DeadlineExceeded(
                 f"rpc {verb!r} to node {dst.node_id} exceeded its deadline")
@@ -192,28 +368,90 @@ class Cluster:
     def call_async(self, src: Node, dst: Node, verb: str, payload: Any = None,
                    request_bytes: int = 0, response_bytes: int = 0,
                    timeout: Optional[float] = None,
-                   deadline: Optional[float] = None) -> Process:
-        """Like :meth:`call` but returns a :class:`Process` to wait on.
+                   deadline: Optional[float] = None,
+                   src_cpu_s: float = 0.0) -> AsyncCall:
+        """Like :meth:`call` but returns an :class:`AsyncCall` to wait on.
 
-        Use for fan-out:  fire several calls, then ``yield AllOf(...)`` /
-        ``AnyOf(...)`` over the returned processes.
+        Use for fan-out: fire several calls, then ``yield AllOf(...)`` /
+        ``AnyOf(...)`` over the returned events.  Failures become
+        exception *values*, never raises, so one dead or shedding callee
+        cannot crash the whole condition.  Costs a single process (the
+        RPC body) per call — the timeout race and the failure-to-value
+        conversion live in callbacks, not in a wrapper process.
         """
-        return self.env.process(
-            self._call_catching(src, dst, verb, payload, request_bytes,
-                                response_bytes, timeout, deadline),
-            name=f"rpc-async-{verb}-{dst.node_id}")
+        self.rpc_count += 1
+        env = self.env
+        wait_s = timeout
+        deadline_first = False
+        if deadline is not None:
+            remaining = deadline - env._now
+            if remaining <= 0:
+                result = AsyncCall(env, None)
+                result._value = DeadlineExceeded(
+                    f"rpc {verb!r} to node {dst.node_id}: deadline already "
+                    f"passed before send")
+                result.callbacks = None
+                return result
+            if wait_s is None or remaining < wait_s:
+                wait_s = remaining
+                deadline_first = True
+        body = env.process(
+            self._rpc_body(src, dst, verb, payload, request_bytes,
+                           response_bytes, deadline=deadline,
+                           src_cpu_s=src_cpu_s),
+            name=verb, eager=True)
+        result = AsyncCall(env, body)
+        if wait_s is not None:
+            timer = self._shared_timer(wait_s, exact=deadline_first)
 
-    def _call_catching(self, src: Node, dst: Node, verb: str, payload: Any,
-                       request_bytes: int, response_bytes: int,
-                       timeout: Optional[float],
-                       deadline: Optional[float] = None) -> Generator:
-        # Fan-out helpers must not fail the whole condition when a single
-        # callee is dead, slow, out of budget or shedding load, so convert
-        # failures into values.
-        try:
-            result = yield from self.call(src, dst, verb, payload,
-                                          request_bytes, response_bytes,
-                                          timeout, deadline)
-            return result
-        except (RpcTimeout, DeadNodeError, Overloaded, Interrupt) as exc:
-            return exc
+            def _expire(_timer: Any) -> None:
+                if result._value is not _PENDING:
+                    return
+                body._defused = True
+                if deadline_first:
+                    result._settle(DeadlineExceeded(
+                        f"rpc {verb!r} to node {dst.node_id} exceeded its "
+                        f"deadline"))
+                else:
+                    result._settle(RpcTimeout(
+                        f"rpc {verb!r} to node {dst.node_id} timed out "
+                        f"after {timeout}s"))
+
+            timer.callbacks.append(_expire)
+        else:
+            timer = None
+
+        def _finish(_body: Any) -> None:
+            if result._value is not _PENDING:
+                # Timed out or cancelled; the late outcome is noise.
+                if not _body._ok:
+                    _body._defused = True
+                return
+            value = _body._value
+            if _body._ok:
+                if value is _NO_RESPONSE or value is _EXPIRED:
+                    # Dead callee or server-side abandonment: the caller
+                    # still waits out its own timer (matches call()).
+                    if timer is None:
+                        result._settle(DeadNodeError(
+                            f"rpc {verb!r} to dead node {dst.node_id} "
+                            f"(no timeout set)"))
+                    return
+                result._settle(value)
+            elif isinstance(value, (RpcTimeout, DeadNodeError, Overloaded,
+                                    Interrupt)):
+                _body._defused = True
+                result._settle(value)
+            elif result.callbacks:
+                # Unexpected failure (e.g. a replica process crashing
+                # mid-request): propagate as a *failure* of the result,
+                # so waiters re-raise it and fan-out conditions defuse
+                # it — exactly what the old wrapper process did.
+                _body._defused = True
+                result._ok = False
+                result._settle(value)
+            # No watchers: stay armed so the kernel's unhandled-failure
+            # check crashes loudly on genuine bugs.
+
+        body.callbacks.append(_finish)
+        return result

@@ -29,6 +29,14 @@ from repro.core.report import (
     render_table,
     render_tail_sweep,
 )
+from repro.core.perf import (
+    QUICK_PERF_SCALE,
+    PerfScale,
+    compare_to_baseline,
+    profile_stress_cell,
+    render_perf_report,
+    run_perf_suite,
+)
 from repro.core.runner import CellRunner, default_cache_dir
 from repro.core.sweep import (
     ADAPTIVE_POLICIES,
@@ -206,6 +214,44 @@ def cmd_adaptive(args) -> int:
     return 0
 
 
+def cmd_perf(args) -> int:
+    """Kernel perf trajectory: run the microbenchmark suite + calibrated
+    stress cell, write ``BENCH_perf.json``, and (optionally) gate
+    against a committed baseline."""
+    def progress(name: str, record: dict) -> None:
+        print(f"perf: {name}: {record['per_s']:,.0f} {record['unit']}/s "
+              f"({record['wall_s']:.3f}s)", file=sys.stderr, flush=True)
+
+    report = run_perf_suite(quick=args.quick, progress=progress)
+    print(render_perf_report(report))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.profile:
+        scale = QUICK_PERF_SCALE if args.quick else PerfScale()
+        print()
+        print(profile_stress_cell(scale))
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        problems = compare_to_baseline(baseline=baseline, current=report,
+                                       max_regression=args.max_regression)
+        skips = [p for p in problems if p.startswith("skip:")]
+        failures = [p for p in problems if not p.startswith("skip:")]
+        for line in skips:
+            print(f"perf gate: {line}", file=sys.stderr)
+        if failures:
+            print(f"perf gate: FAIL vs {args.baseline}:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"perf gate: ok vs {args.baseline} "
+              f"(threshold {args.max_regression:.0%})", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -270,8 +316,10 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=list(TAIL_MODES),
                         help="defense stack(s) to compare (default: all)")
     p_tail.add_argument("--scenario", dest="scenarios", action="append",
-                        choices=list(TAIL_SCENARIOS),
-                        help="stress scenario(s) to run (default: both)")
+                        choices=list(TAIL_SCENARIOS) + ["healthy"],
+                        help="stress scenario(s) to run (default: both "
+                             "stress scenarios; 'healthy' adds the "
+                             "fault-free control cell)")
     p_tail.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="run campaign cells across N worker processes "
                              "(0 = one per CPU core)")
@@ -336,6 +384,26 @@ def build_parser() -> argparse.ArgumentParser:
                             help="recompute every cell instead of reusing "
                                  f"the cell cache ({default_cache_dir()})")
     p_adaptive.set_defaults(func=cmd_adaptive)
+
+    p_perf = sub.add_parser(
+        "perf", help="kernel microbenchmarks + calibrated stress cell "
+                     "(the perf trajectory artifact)")
+    p_perf.add_argument("--quick", action="store_true",
+                        help="small iteration counts (CI smoke)")
+    p_perf.add_argument("--out", metavar="PATH", default="BENCH_perf.json",
+                        help="write the JSON report to PATH "
+                             "(default BENCH_perf.json; '' disables)")
+    p_perf.add_argument("--baseline", metavar="PATH",
+                        help="compare against a baseline BENCH_perf.json "
+                             "and exit 1 on regression")
+    p_perf.add_argument("--max-regression", type=float, default=0.25,
+                        metavar="FRAC",
+                        help="tolerated fractional throughput drop vs the "
+                             "baseline (default 0.25)")
+    p_perf.add_argument("--profile", action="store_true",
+                        help="also cProfile the stress cell and print the "
+                             "hottest functions")
+    p_perf.set_defaults(func=cmd_perf)
     return parser
 
 

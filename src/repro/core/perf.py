@@ -1,0 +1,442 @@
+"""Kernel profiling + microbenchmarks behind ``repro-bench perf``.
+
+Every campaign in this repo — the fig1/fig2/fig3 sweeps, failover, tail,
+the consistency oracle, the adaptive controller — bottoms out in the
+discrete-event kernel, so kernel throughput bounds how many scenarios
+and how many simulated users any of them can cover.  This module makes
+that number a first-class artifact:
+
+- a suite of **microbenchmarks** isolating the kernel's hot paths (raw
+  event churn, RPC-style timer races, process switching, AllOf/AnyOf
+  fan-in, YCSB operation/key generation, Measurements recording), and
+- a **calibrated stress cell** (a fixed Cassandra read/update cell, same
+  config on every machine) measured end to end in simulated-ops/sec and
+  kernel-events/sec.
+
+``run_perf_suite`` returns a JSON-safe report; the CLI writes it to
+``BENCH_perf.json``.  ``compare_to_baseline`` turns two such reports
+into a regression verdict, which is what the ``perf-smoke`` CI gate
+runs against the committed baseline: optimizations must ratchet the
+trajectory forward, never silently backward.
+
+Throughput numbers are wall-clock dependent (machine, Python version),
+so the CI gate uses a generous threshold; the *shape* of the report
+(stage names, ops counts, simulated durations, kernel event counts) is
+deterministic, and the pin test asserts the stress cell's kernel trace
+is byte-identical across runs.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import platform
+import pstats
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+from repro.core.config import (ExperimentConfig, default_stress_config,
+                               scaled_stress_storage)
+from repro.sim.kernel import AllOf, AnyOf, Environment
+from repro.sim.trace import KernelTracer
+from repro.ycsb.measurements import Measurements
+from repro.ycsb.workload import STRESS_WORKLOADS, Workload
+
+__all__ = [
+    "PerfScale",
+    "QUICK_PERF_SCALE",
+    "SCHEMA_VERSION",
+    "compare_to_baseline",
+    "perf_stress_config",
+    "run_perf_suite",
+    "run_stress_cell",
+]
+
+#: Bump when the report layout changes (stage names, metric meanings).
+SCHEMA_VERSION = 2
+
+
+@dataclass(frozen=True)
+class PerfScale:
+    """Iteration counts for the microbenchmarks and the stress cell."""
+
+    #: Bare timeouts scheduled + dispatched (raw heap churn).
+    churn_events: int = 200_000
+    #: RPC-style AnyOf(work | timer) races, timer going stale.
+    timer_races: int = 30_000
+    #: Event-driven ping-pong switches between two processes.
+    switches: int = 100_000
+    #: AllOf/AnyOf rounds over ``fanin_width`` timeouts each.
+    fanin_rounds: int = 15_000
+    fanin_width: int = 5
+    #: YCSB operation + key choices drawn.
+    keygen_ops: int = 150_000
+    #: Latency samples recorded + summarized.
+    measure_samples: int = 150_000
+    #: Stress-cell sizing (fixed => comparable across machines).
+    stress_records: int = 8_000
+    stress_operations: int = 8_000
+    stress_threads: int = 32
+    stress_nodes: int = 8
+
+
+QUICK_PERF_SCALE = PerfScale(
+    churn_events=40_000,
+    timer_races=6_000,
+    switches=20_000,
+    fanin_rounds=3_000,
+    keygen_ops=30_000,
+    measure_samples=30_000,
+    stress_records=2_000,
+    stress_operations=2_000,
+    stress_threads=16,
+    stress_nodes=6,
+)
+
+
+def _stage(ops: int, unit: str, fn: Callable[[], dict | None]) -> dict:
+    """Time ``fn`` and fold its extra fields into a stage record."""
+    started = time.perf_counter()
+    extra = fn() or {}
+    wall = time.perf_counter() - started
+    record = {
+        "ops": ops,
+        "unit": unit,
+        "wall_s": wall,
+        "per_s": ops / wall if wall > 0 else 0.0,
+    }
+    record.update(extra)
+    return record
+
+
+# -- microbenchmarks -------------------------------------------------------
+
+def bench_event_churn(n: int) -> dict:
+    """Schedule + dispatch ``n`` bare timeouts: the floor cost of one
+    kernel event (heappush, heappop, callback dispatch)."""
+    def run() -> dict:
+        env = Environment()
+
+        def feeder(env, remaining):
+            while remaining:
+                yield env.timeout(0.001)
+                remaining -= 1
+
+        # A handful of concurrent feeders keeps the heap non-trivial.
+        per = n // 4
+        for _ in range(4):
+            env.process(feeder(env, per))
+        env.run()
+        return {"events": env.processed_events}
+
+    return _stage(n, "events", run)
+
+
+def bench_timer_storm(n: int) -> dict:
+    """RPC-shaped races: ``AnyOf(work | timer)`` where the work wins and
+    the timer goes stale — the pattern every timed RPC call produces.
+    Measures the cost of scheduling timers that almost never fire
+    usefully (the case a batched/cheap timer path must make fast)."""
+    def run() -> dict:
+        env = Environment()
+
+        def caller(env, rounds):
+            for _ in range(rounds):
+                work = env.timeout(0.0005, "ok")
+                timer = env.timeout(0.05)
+                result = yield AnyOf(env, [work, timer])
+                assert work in result
+
+        per = n // 8
+        for _ in range(8):
+            env.process(caller(env, per))
+        env.run()
+        return {"events": env.processed_events}
+
+    return _stage(n, "races", run)
+
+
+def bench_process_switch(n: int) -> dict:
+    """Event-driven ping-pong: the pure process suspend/resume path
+    (``Process._resume`` + generator send) with no timer involved."""
+    def run() -> dict:
+        env = Environment()
+        box = {"ping": env.event()}
+
+        def producer(env, rounds):
+            for _ in range(rounds):
+                event = box["ping"]
+                box["ping"] = env.event()
+                event.succeed()
+                yield env.timeout(0.001)
+
+        def consumer(env, rounds):
+            for _ in range(rounds):
+                yield box["ping"]
+
+        # Each round is one producer resume + one consumer resume.
+        env.process(producer(env, n // 2))
+        env.process(consumer(env, n // 2))
+        env.run()
+        return {"events": env.processed_events}
+
+    return _stage(n, "switches", run)
+
+
+def bench_fanin(rounds: int, width: int) -> dict:
+    """AllOf + AnyOf over ``width`` timeouts per round — the replica
+    fan-in shape of every quorum write/read."""
+    def run() -> dict:
+        env = Environment()
+
+        def quorum(env, rounds):
+            for i in range(rounds):
+                acks = [env.timeout(0.0001 * (j + 1)) for j in range(width)]
+                if i % 2:
+                    yield AllOf(env, acks)
+                else:
+                    timer = env.timeout(1.0)
+                    yield AnyOf(env, [AllOf(env, acks), timer])
+
+        per = rounds // 4
+        for _ in range(4):
+            env.process(quorum(env, per))
+        env.run()
+        return {"events": env.processed_events}
+
+    return _stage(rounds, "rounds", run)
+
+
+def bench_ycsb_keygen(n: int) -> dict:
+    """Operation + key choice per op for a zipfian stress workload —
+    the client-side cost paid before any simulated work happens."""
+    def run() -> None:
+        import random
+        workload = Workload(STRESS_WORKLOADS["read_update"], 100_000,
+                            random.Random(42))
+        next_op = workload.next_operation
+        next_key = workload.next_read_key
+        for _ in range(n):
+            next_op()
+            next_key()
+
+    return _stage(n, "keys", run)
+
+
+def bench_measurements(n: int) -> dict:
+    """Record ``n`` samples + error events, then take the summaries the
+    report layer takes (per-op stats, overall, timeline)."""
+    def run() -> None:
+        m = Measurements()
+        record = m.record
+        t = 0.0
+        for i in range(n):
+            t += 0.0001
+            record("read" if i % 3 else "update", t, 0.001 + (i % 97) * 1e-6)
+            if i % 500 == 0:
+                m.record_error("read", kind="RpcTimeout", at=t)
+        m.started_at, m.finished_at = 0.0, t
+        for _ in range(3):  # reports consume stats repeatedly
+            m.stats("read")
+            m.stats("update")
+            m.overall_stats()
+        m.timeline(1.0)
+        m.timeline_with_errors(1.0)
+
+    return _stage(n, "samples", run)
+
+
+# -- the calibrated stress cell -------------------------------------------
+
+def perf_stress_config(scale: PerfScale) -> ExperimentConfig:
+    """The fixed stress cell every perf report measures: Cassandra
+    read/update at RF 3 — the paper's most replication-sensitive mix and
+    the shape (quorum fan-out, timers, zipfian keys) the optimizations
+    target.  Fixed sizing keeps reports comparable across commits."""
+    config = default_stress_config("cassandra", "read_update",
+                                   replication=3, seed=42)
+    return replace(
+        config,
+        record_count=scale.stress_records,
+        operation_count=scale.stress_operations,
+        n_threads=scale.stress_threads,
+        n_nodes=scale.stress_nodes,
+        settle_s=1.0,
+        storage=scaled_stress_storage(scale.stress_records, 1000,
+                                      scale.stress_nodes - 1),
+    )
+
+
+def run_stress_cell(scale: PerfScale, trace: bool = False) -> dict:
+    """Load + run the calibrated stress cell; returns stage fields.
+
+    With ``trace`` a :class:`KernelTracer` hashes the full kernel
+    schedule (slower; used by the determinism pin, not by timing runs).
+    """
+    from repro.core.experiment import ExperimentSession, summarize_run
+
+    config = perf_stress_config(scale)
+    session = ExperimentSession(config)
+    tracer = KernelTracer(session.env) if trace else None
+
+    load_started = time.perf_counter()
+    session.load()
+    load_wall = time.perf_counter() - load_started
+    load_events = session.env.processed_events
+
+    run_started = time.perf_counter()
+    result = session.run_cell()
+    run_wall = time.perf_counter() - run_started
+    run_events = session.env.processed_events - load_events
+
+    ops = result.operations
+    record = {
+        "ops": ops,
+        "unit": "sim-ops",
+        "wall_s": run_wall,
+        "per_s": ops / run_wall if run_wall > 0 else 0.0,
+        "events": run_events,
+        "events_per_s": run_events / run_wall if run_wall > 0 else 0.0,
+        "sim_duration_s": result.duration_s,
+        "sim_throughput": result.throughput,
+        "load_wall_s": load_wall,
+        "load_per_s": (config.record_count / load_wall
+                       if load_wall > 0 else 0.0),
+        "summary": summarize_run(result),
+    }
+    if tracer is not None:
+        record["trace_digest"] = tracer.digest()
+        record["trace_events"] = tracer.events
+    return record
+
+
+def profile_stress_cell(scale: PerfScale, top: int = 25) -> str:
+    """cProfile the stress cell; returns the formatted hot-function table."""
+    from repro.core.experiment import ExperimentSession
+
+    config = perf_stress_config(scale)
+    session = ExperimentSession(config)
+    session.load()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    session.run_cell()
+    profiler.disable()
+    out = io.StringIO()
+    stats = pstats.Stats(profiler, stream=out).sort_stats("cumulative")
+    stats.print_stats(top)
+    return out.getvalue()
+
+
+# -- suite + baseline comparison ------------------------------------------
+
+def run_perf_suite(scale: Optional[PerfScale] = None,
+                   quick: bool = False,
+                   progress: Optional[Callable[[str, dict], None]] = None
+                   ) -> dict:
+    """Run every stage; returns the JSON-safe ``BENCH_perf.json`` body."""
+    if scale is None:
+        scale = QUICK_PERF_SCALE if quick else PerfScale()
+
+    stages: dict[str, dict] = {}
+
+    def add(name: str, record: dict) -> None:
+        stages[name] = record
+        if progress is not None:
+            progress(name, record)
+
+    add("event_churn", bench_event_churn(scale.churn_events))
+    add("timer_storm", bench_timer_storm(scale.timer_races))
+    add("process_switch", bench_process_switch(scale.switches))
+    add("fanin", bench_fanin(scale.fanin_rounds, scale.fanin_width))
+    add("ycsb_keygen", bench_ycsb_keygen(scale.keygen_ops))
+    add("measurements", bench_measurements(scale.measure_samples))
+    add("stress_cell", run_stress_cell(scale))
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "quick": quick,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "stages": stages,
+    }
+
+
+#: Stage -> throughput keys the regression gate compares.  Only rate
+#: metrics participate: absolute wall times vary with machine load, but
+#: so do rates — hence the generous default threshold in the CI gate.
+_GATED_METRICS = {
+    "event_churn": ("per_s",),
+    "timer_storm": ("per_s",),
+    "process_switch": ("per_s",),
+    "fanin": ("per_s",),
+    "ycsb_keygen": ("per_s",),
+    "measurements": ("per_s",),
+    "stress_cell": ("per_s", "events_per_s"),
+}
+
+
+def compare_to_baseline(current: dict, baseline: dict,
+                        max_regression: float = 0.25) -> list[str]:
+    """Regression verdict: messages for every gated metric that fell
+    more than ``max_regression`` below the baseline (empty = pass).
+
+    Stages missing from either report are skipped (schema drift must
+    not masquerade as a perf regression); a schema mismatch is reported
+    as a single advisory skip message prefix-tagged ``skip:``.
+    """
+    problems: list[str] = []
+    if current.get("schema") != baseline.get("schema"):
+        return [f"skip: schema mismatch (current "
+                f"{current.get('schema')} vs baseline "
+                f"{baseline.get('schema')}); baseline needs regeneration"]
+    current_stages = current.get("stages", {})
+    baseline_stages = baseline.get("stages", {})
+    for stage, metrics in _GATED_METRICS.items():
+        cur = current_stages.get(stage)
+        base = baseline_stages.get(stage)
+        if not cur or not base:
+            continue
+        for metric in metrics:
+            cur_v = cur.get(metric)
+            base_v = base.get(metric)
+            if not isinstance(cur_v, (int, float)) \
+                    or not isinstance(base_v, (int, float)) or base_v <= 0:
+                continue
+            floor = base_v * (1.0 - max_regression)
+            if cur_v < floor:
+                problems.append(
+                    f"{stage}.{metric}: {cur_v:,.0f}/s is "
+                    f"{100 * (1 - cur_v / base_v):.1f}% below baseline "
+                    f"{base_v:,.0f}/s (allowed {100 * max_regression:.0f}%)")
+    return problems
+
+
+def render_perf_report(report: dict) -> str:
+    """Human-readable table of a perf report (CLI output)."""
+    lines = [
+        f"repro-bench perf (schema {report['schema']}, "
+        f"python {report['python']}, "
+        f"{'quick' if report.get('quick') else 'full'} scale)",
+        "",
+        f"{'stage':<16} {'ops':>10} {'wall s':>8} {'per sec':>14} unit",
+        "-" * 60,
+    ]
+    for name, stage in report["stages"].items():
+        lines.append(
+            f"{name:<16} {stage['ops']:>10,} {stage['wall_s']:>8.3f} "
+            f"{stage['per_s']:>14,.0f} {stage['unit']}")
+    stress = report["stages"].get("stress_cell")
+    if stress:
+        lines += [
+            "",
+            f"stress cell: {stress['per_s']:,.0f} simulated ops/s, "
+            f"{stress['events_per_s']:,.0f} kernel events/s "
+            f"({stress['events']:,} events for {stress['ops']:,} ops, "
+            f"{stress['events'] / max(1, stress['ops']):.1f} events/op)",
+            f"             load {stress['load_per_s']:,.0f} records/s; "
+            f"simulated {stress['sim_duration_s']:.2f}s at "
+            f"{stress['sim_throughput']:,.0f} sim-ops/s",
+        ]
+    return "\n".join(lines)

@@ -57,7 +57,9 @@ __all__ = [
 #: "3": summaries may carry a ``consistency`` report (RunSpec.check).
 #: "4": summaries may carry a ``decisions`` log (RunSpec.adaptive) and
 #: consistency reports gained ``max_staleness_lag_s``.
-RESULT_VERSION = "4"
+#: "5": payloads carry a ``kernel`` record (processed event count) so
+#: regressions in simulation cost are visible in cached artifacts.
+RESULT_VERSION = "5"
 
 #: Environment override for the cell-cache directory.
 CACHE_ENV_VAR = "REPRO_CELL_CACHE"
@@ -169,6 +171,10 @@ def execute_cell(spec: CellSpec) -> dict:
         if run.measured:
             runs.append(summarize_run(result))
     payload: dict = {"runs": runs}
+    # Deterministic per-seed: how much kernel work the cell cost.  A
+    # code change that silently doubles the event count shows up in the
+    # cached payload diff even when every summary number is unchanged.
+    payload["kernel"] = {"events": session.env.processed_events}
     if spec.collect_db_stats:
         payload["db_stats"] = session.db_stats()
     return payload

@@ -6,7 +6,8 @@ from typing import Any, Generator, Optional
 
 from repro.cluster.hedging import HedgePolicy
 from repro.cluster.node import Node
-from repro.cluster.topology import (Cluster, DeadlineExceeded, DeadNodeError,
+from repro.cluster.topology import (Cluster, DEFAULT_CLIENT_OVERHEAD_S,
+                                    DeadlineExceeded, DeadNodeError,
                                     RpcTimeout)
 from repro.keyspace import key_for_token, token_of
 from repro.hbase.deployment import HBaseCluster
@@ -50,7 +51,8 @@ class HBaseClient:
                  backoff_cap_s: float = 5.0,
                  rng=None,
                  speculative_retry: Optional[str] = None,
-                 deadline_s: Optional[float] = None) -> None:
+                 deadline_s: Optional[float] = None,
+                 client_overhead_s: float = DEFAULT_CLIENT_OVERHEAD_S) -> None:
         self.hbase = hbase
         self.cluster: Cluster = hbase.cluster
         self.client_node = client_node
@@ -66,6 +68,11 @@ class HBaseClient:
         #: End-to-end per-operation budget (covers retries); ``None`` =
         #: no deadline propagation.
         self.deadline_s = deadline_s
+        #: Client-side CPU per operation (serialization, bookkeeping),
+        #: charged ahead of the first attempt's request serialization —
+        #: fused into the RPC's own core reservation so it costs no extra
+        #: kernel event (see ``Cluster._rpc_body``).
+        self.client_overhead_s = client_overhead_s
         #: region_id -> node_id (META cache).
         self._assignment = dict(hbase.master.assignment)
         self.retries = 0
@@ -106,7 +113,8 @@ class HBaseClient:
             try:
                 result = yield from self._attempt(
                     region_id, verb, payload, request_bytes, response_bytes,
-                    deadline)
+                    deadline,
+                    src_cpu_s=self.client_overhead_s if attempt == 0 else 0.0)
                 return result
             except DeadlineExceeded:
                 # The end-to-end budget covers retries; it is spent.
@@ -118,7 +126,8 @@ class HBaseClient:
 
     def _attempt(self, region_id: int, verb: str, payload: Any,
                  request_bytes: int, response_bytes: int,
-                 deadline: Optional[float]) -> Generator:
+                 deadline: Optional[float],
+                 src_cpu_s: float = 0.0) -> Generator:
         """One RPC attempt, speculatively duplicated for straggling reads.
 
         With a hedge policy configured, a read (never a put — only reads
@@ -134,7 +143,7 @@ class HBaseClient:
         primary = self.cluster.call_async(
             self.client_node, self._server_node(region_id), verb, payload,
             request_bytes, response_bytes, timeout=self.op_timeout_s,
-            deadline=deadline)
+            deadline=deadline, src_cpu_s=src_cpu_s)
         if delay is not None:
             yield AnyOf(env, [primary, env.timeout(delay)])
         if delay is None or (primary.processed

@@ -154,8 +154,10 @@ class RegionServer:
         slot = yield from self._acquire_slot(deadline)
         try:
             yield from self._wait_available(region)
-            yield from self.node.cpu_work(_HANDLER_CPU_S)
-            yield from region.tree.put(key, value, size, timestamp)
+            # Handler CPU rides the same core reservation as the engine
+            # put (one timeout event, same total service time).
+            yield from region.tree.put(key, value, size, timestamp,
+                                       extra_cpu_s=_HANDLER_CPU_S)
             self.ops["put"] += 1
         finally:
             self._release_slot(slot)
@@ -168,8 +170,8 @@ class RegionServer:
         slot = yield from self._acquire_slot(deadline)
         try:
             yield from self._wait_available(region)
-            yield from self.node.cpu_work(_HANDLER_CPU_S)
-            result = yield from region.tree.get(key)
+            result = yield from region.tree.get(key,
+                                                extra_cpu_s=_HANDLER_CPU_S)
             self.ops["get"] += 1
         finally:
             self._release_slot(slot)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import heapq
 from collections.abc import Generator
+from heapq import heappush
 from typing import Any, Callable, Optional
 
 __all__ = [
@@ -112,11 +113,13 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self, NORMAL, 0.0)
+        env = self.env
+        env._seq += 1
+        heappush(env._queue, (env._now, NORMAL, env._seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -127,20 +130,24 @@ class Event:
         """
         if not isinstance(exception, BaseException):
             raise SimulationError(f"fail() needs an exception, got {exception!r}")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
-        self.env._schedule(self, NORMAL, 0.0)
+        env = self.env
+        env._seq += 1
+        heappush(env._queue, (env._now, NORMAL, env._seq, self))
         return self
 
     def trigger(self, event: "Event") -> None:
         """Trigger this event with the state of another event (chaining)."""
-        if self.triggered:
+        if self._value is not _PENDING:
             return
         self._ok = event._ok
         self._value = event._value
-        self.env._schedule(self, NORMAL, 0.0)
+        env = self.env
+        env._seq += 1
+        heappush(env._queue, (env._now, NORMAL, env._seq, self))
 
     def defuse(self) -> None:
         """Mark a failed event as handled so it does not crash the run."""
@@ -161,18 +168,45 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers ``delay`` time units after creation."""
+    """An event that triggers ``delay`` time units after creation.
 
-    __slots__ = ("delay",)
+    A pending timeout is genuinely *untriggered*: its value lives in
+    ``_delayed_value`` until the queue dispatches it (an earlier version
+    set ``_value`` eagerly, which made ``triggered`` true from creation
+    — so ``env.run(until=env.timeout(10))`` returned immediately at
+    ``now=0`` and :meth:`Condition._collect` needed a workaround to keep
+    future timeouts out of condition values).
+    """
+
+    __slots__ = ("delay", "_delayed_value")
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
+        # Timeouts are the most-allocated event by far (every RPC, every
+        # think-time, every retry backoff), so skip the super() chain and
+        # write the slots directly.
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
         self._ok = True
-        self._value = value
-        env._schedule(self, NORMAL, delay)
+        self._defused = False
+        self.delay = delay
+        self._delayed_value = value
+        env._seq += 1
+        heappush(env._queue, (env._now + delay, NORMAL, env._seq, self))
+
+    def succeed(self, value: Any = None) -> "Event":
+        raise SimulationError("a Timeout fires by itself; it cannot be "
+                              "triggered manually")
+
+    def fail(self, exception: BaseException) -> "Event":
+        raise SimulationError("a Timeout fires by itself; it cannot be "
+                              "failed manually")
+
+    def trigger(self, event: "Event") -> None:
+        raise SimulationError("a Timeout fires by itself; it cannot be "
+                              "chain-triggered")
 
 
 class Initialize(Event):
@@ -181,11 +215,13 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process") -> None:
-        super().__init__(env)
-        self.callbacks.append(process._resume)
-        self._ok = True
+        self.env = env
+        self.callbacks = [process._resume]
         self._value = None
-        env._schedule(self, URGENT, 0.0)
+        self._ok = True
+        self._defused = False
+        env._seq += 1
+        heappush(env._queue, (env._now, URGENT, env._seq, self))
 
 
 class Process(Event):
@@ -199,16 +235,38 @@ class Process(Event):
     __slots__ = ("_generator", "_target", "name")
 
     def __init__(self, env: "Environment", generator: Generator,
-                 name: Optional[str] = None) -> None:
+                 name: Optional[str] = None, eager: bool = False) -> None:
         if not hasattr(generator, "throw"):
             raise SimulationError(f"{generator!r} is not a generator")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         #: The event this process currently waits on (None when running
         #: or terminated).
         self._target: Optional[Event] = None
-        Initialize(env, self)
+        if not eager:
+            Initialize(env, self)
+            return
+        # Eager start: run the body's first segment inside the creator's
+        # frame instead of through an Initialize queue event.  Semantics
+        # differ only in intra-timestep ordering (the body runs before
+        # the creator's next statement, not after its next yield), so
+        # this is opt-in for hot spawn sites that tolerate that drift —
+        # it removes one heap event + one dispatch per spawn on paths
+        # that create a process per RPC.
+        start = Event.__new__(Event)
+        start.env = env
+        start.callbacks = None
+        start._value = None
+        start._ok = True
+        start._defused = False
+        prev = env._active_process
+        self._resume(start)
+        env._active_process = prev
 
     @property
     def is_alive(self) -> bool:
@@ -235,51 +293,79 @@ class Process(Event):
         interrupt_event.callbacks.append(self._resume)
         self.env._schedule(interrupt_event, URGENT, 0.0)
 
+    def _finalize(self) -> None:
+        """Settle this terminated process inline (no queue round-trip).
+
+        ``_ok``/``_value`` are already set.  Mirrors what the dispatch
+        loop would do with the completion event one heap push later —
+        waiters run now, at the same simulated time, inside the frame
+        that drove the final segment — including the loud-crash check
+        for unhandled failures.  Completion is the second queue event
+        every process used to cost (after ``Initialize``); on a per-RPC
+        process this pair was a third of the stress-cell schedule.
+        """
+        callbacks, self.callbacks = self.callbacks, None
+        for callback in callbacks:
+            callback(self)
+        if not self._ok and not self._defused:
+            raise self._value
+
     def _resume(self, event: Event) -> None:
         """Advance the generator with the value (or exception) of ``event``."""
         env = self.env
         # If an interrupt already resumed us and we since started waiting
         # on a different event, a stale callback may fire; ignore events
         # that are no longer our target (interrupt events never were).
+        # An ignored *failure* must still be defused: this process was a
+        # legitimate subscriber, and if it was the only one, an abandoned
+        # event that later fail()s would otherwise crash the whole run
+        # through :meth:`Environment.step`'s unhandled-failure check.
         if self._target is not None and event is not self._target \
                 and not isinstance(event._value, Interrupt):
+            if not event._ok:
+                event._defused = True
             return
-        if self.triggered:
+        if self._value is not _PENDING:
+            if not event._ok:
+                event._defused = True
             return
         env._active_process = self
+        generator = self._generator
+        send = generator.send
         while True:
             self._target = None
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     event._defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = generator.throw(event._value)
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
-                env._schedule(self, NORMAL, 0.0)
+                self._finalize()
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
-                env._schedule(self, NORMAL, 0.0)
+                self._finalize()
                 break
 
-            if not isinstance(next_event, Event):
+            if next_event.__class__ is not Event \
+                    and not isinstance(next_event, Event):
                 exc = SimulationError(
                     f"process {self.name!r} yielded non-event {next_event!r}")
                 try:
-                    self._generator.throw(exc)
+                    generator.throw(exc)
                 except StopIteration as stop:
                     self._ok = True
                     self._value = stop.value
-                    env._schedule(self, NORMAL, 0.0)
+                    self._finalize()
                     break
                 except BaseException as exc2:
                     self._ok = False
                     self._value = exc2
-                    env._schedule(self, NORMAL, 0.0)
+                    self._finalize()
                     break
                 continue
 
@@ -302,30 +388,34 @@ class Condition(Event):
     __slots__ = ("events", "_count")
 
     def __init__(self, env: "Environment", events: list[Event]) -> None:
-        super().__init__(env)
-        self.events = list(events)
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
+        self.events = events = list(events)
         self._count = 0
-        for event in self.events:
-            if event.env is not env:
-                raise SimulationError("cannot mix events from different environments")
-        if not self.events:
+        if not events:
             self.succeed(self._collect())
             return
-        for event in self.events:
+        check = self._check
+        for event in events:
+            if event.env is not env:
+                raise SimulationError("cannot mix events from different environments")
             if event.callbacks is None:
-                self._check(event)
+                check(event)
             else:
-                event.callbacks.append(self._check)
+                event.callbacks.append(check)
 
     def _evaluate(self, count: int) -> bool:
         raise NotImplementedError
 
     def _collect(self) -> dict[Event, Any]:
-        # Only events whose callbacks have run count as "happened";
-        # a Timeout carries its value from creation, so `triggered`
-        # alone would leak future events into the result.
+        # Only events whose callbacks have run count as "happened" —
+        # an event may be triggered (scheduled with a value) but not yet
+        # dispatched when the condition completes.
         return {e: e._value for e in self.events
-                if e.processed and e._ok}
+                if e.callbacks is None and e._ok}
 
     def _check(self, event: Event) -> None:
         if self.triggered:
@@ -369,6 +459,10 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: Events actually dispatched (stale queue entries excluded) —
+        #: the denominator of every events/sec figure ``repro-bench
+        #: perf`` reports.  Deterministic: two replica runs agree.
+        self.processed_events = 0
         #: Optional hook called as ``trace(now, priority, seq, event)`` for
         #: every event the loop actually processes (already-processed
         #: queue entries, e.g. condition re-pushes, are not reported).
@@ -398,9 +492,15 @@ class Environment:
         """An event that triggers ``delay`` time units from now."""
         return Timeout(self, delay, value)
 
-    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
-        """Register ``generator`` as a new process starting "now"."""
-        return Process(self, generator, name=name)
+    def process(self, generator: Generator, name: Optional[str] = None,
+                eager: bool = False) -> Process:
+        """Register ``generator`` as a new process starting "now".
+
+        ``eager=True`` runs the body's first segment inline (see
+        :class:`Process`) — same simulated time, different
+        intra-timestep ordering; reserve it for hot per-RPC spawns.
+        """
+        return Process(self, generator, name=name, eager=eager)
 
     def all_of(self, events: list[Event]) -> AllOf:
         """Condition that triggers when every event has succeeded."""
@@ -428,6 +528,11 @@ class Environment:
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:
             return  # event was already processed (e.g. condition re-push)
+        if event._value is _PENDING:
+            # A timeout fires now: materialize its delayed value (pending
+            # timeouts are the only untriggered events on the queue).
+            event._value = event._delayed_value
+        self.processed_events += 1
         if self.trace is not None:
             self.trace(self._now, priority, seq, event)
         for callback in callbacks:
@@ -441,6 +546,12 @@ class Environment:
 
         ``until`` may be ``None`` (run to queue exhaustion), a time, or an
         :class:`Event` (run until the event triggers; returns its value).
+
+        The dispatch loop is deliberately flat: :meth:`step` is inlined
+        (it remains available for single-stepping) because at stress-cell
+        scale the loop runs hundreds of thousands of iterations and the
+        method call plus re-reads of ``self._queue``/``self.trace``
+        dominate the profile.
         """
         stop_event: Optional[Event] = None
         stop_time = float("inf")
@@ -451,16 +562,44 @@ class Environment:
             if stop_time < self._now:
                 raise SimulationError(
                     f"until ({stop_time}) is in the past (now={self._now})")
-        while self._queue:
-            if stop_event is not None and stop_event.triggered:
-                if not stop_event._ok:
-                    stop_event._defused = True
-                    raise stop_event._value
-                return stop_event._value
-            if self.peek() > stop_time:
-                self._now = stop_time
-                return None
-            self.step()
+        queue = self._queue
+        pop = heapq.heappop
+        processed = self.processed_events
+        # Hoisted: installing a tracer mid-run is unsupported (the digest
+        # would cover a partial schedule anyway).
+        trace = self.trace
+        try:
+            while queue:
+                if stop_event is not None \
+                        and stop_event._value is not _PENDING:
+                    if not stop_event._ok:
+                        stop_event._defused = True
+                        raise stop_event._value
+                    return stop_event._value
+                if queue[0][0] > stop_time:
+                    self._now = stop_time
+                    return None
+                # -- inlined step() ------------------------------------
+                self._now, priority, seq, event = pop(queue)
+                callbacks = event.callbacks
+                if callbacks is None:
+                    continue  # already processed (e.g. condition re-push)
+                event.callbacks = None
+                if event._value is _PENDING:
+                    # A timeout fires now: materialize its delayed value
+                    # (pending timeouts are the only untriggered events
+                    # on the queue).
+                    event._value = event._delayed_value
+                processed += 1
+                if trace is not None:
+                    trace(self._now, priority, seq, event)
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    # Unhandled failure: surface it instead of losing it.
+                    raise event._value
+        finally:
+            self.processed_events = processed
         if stop_event is not None and stop_event.triggered:
             if not stop_event._ok:
                 stop_event._defused = True

@@ -36,13 +36,31 @@ class BloomFilter:
         return [(h1 + i * h2) % self.n_bits for i in range(self.n_hashes)]
 
     def add(self, key: str) -> None:
-        for idx in self._indexes(key):
-            self._bits |= 1 << idx
+        # Hot path (every memtable flush rehashes every entry): same
+        # double-hashing scheme as _indexes, without the list.
+        data = key.encode()
+        h = zlib.crc32(data)
+        h2 = zlib.adler32(data) | 1
+        n = self.n_bits
+        mask = 0
+        for _ in range(self.n_hashes):
+            mask |= 1 << (h % n)
+            h += h2
+        self._bits |= mask
         self.items_added += 1
 
     def might_contain(self, key: str) -> bool:
         """False means *definitely absent*; True means *probably present*."""
-        return all(self._bits >> idx & 1 for idx in self._indexes(key))
+        data = key.encode()
+        h = zlib.crc32(data)
+        h2 = zlib.adler32(data) | 1
+        n = self.n_bits
+        bits = self._bits
+        for _ in range(self.n_hashes):
+            if not bits >> (h % n) & 1:
+                return False
+            h += h2
+        return True
 
     @property
     def size_bytes(self) -> int:

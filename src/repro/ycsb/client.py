@@ -19,7 +19,8 @@ from typing import Generator, Optional
 
 from repro.cassandra.consistency import UnavailableError
 from repro.cassandra.coordinator import ReadTimeoutError, WriteTimeoutError
-from repro.cluster.topology import DeadNodeError, RpcTimeout
+from repro.cluster.topology import (DEFAULT_CLIENT_OVERHEAD_S, DeadNodeError,
+                                    RpcTimeout)
 from repro.keyspace import key_for_index
 from repro.sim.kernel import AllOf, Environment
 from repro.sim.resources import Overloaded
@@ -27,7 +28,8 @@ from repro.ycsb.db import DbBinding
 from repro.ycsb.measurements import Measurements
 from repro.ycsb.workload import OperationType, Workload
 
-__all__ = ["LoadResult", "RunResult", "YcsbClient"]
+__all__ = ["DEFAULT_CLIENT_OVERHEAD_S", "LoadResult", "RunResult",
+           "YcsbClient"]
 
 #: Exceptions recorded as failed operations rather than crashing the run.
 #: ``Overloaded`` is a bounded queue shedding load — an explicit error in
@@ -79,20 +81,19 @@ class RunResult:
         return self.measurements.overall_stats()
 
 
-#: Client-side CPU per operation (YCSB serialization, thread wake-up).
-#: The paper's methodology section is explicit that client-side latency
-#: exists and must be controlled by thread-count choice; charging it on
-#: the client node makes the single client machine a realistic, shared
-#: resource (the paper dedicates one of the 16 machines to YCSB).
-DEFAULT_CLIENT_OVERHEAD_S = 2e-4
-
-
 class YcsbClient:
-    """Drives one workload against one database binding."""
+    """Drives one workload against one database binding.
+
+    ``client_overhead_s`` defaults to 0 because the database driver
+    sessions charge :data:`DEFAULT_CLIENT_OVERHEAD_S` themselves, fused
+    into each operation's first RPC (``Cluster.call(..., src_cpu_s=...)``)
+    so the charge costs no extra kernel event.  Pass a non-zero value
+    only to model *additional* workload-generator CPU on top of that.
+    """
 
     def __init__(self, env: Environment, db: DbBinding, workload: Workload,
                  rng, client_node=None,
-                 client_overhead_s: float = DEFAULT_CLIENT_OVERHEAD_S) -> None:
+                 client_overhead_s: float = 0.0) -> None:
         self.env = env
         self.db = db
         self.workload = workload

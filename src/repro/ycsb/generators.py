@@ -72,8 +72,14 @@ class ZipfianGenerator:
         self._zeta = self._zeta_static(n_items, theta)
         self._zeta2 = self._zeta_static(2, theta)
         self._alpha = 1.0 / (1.0 - theta)
-        self._eta = ((1 - (2.0 / n_items) ** (1 - theta))
-                     / (1 - self._zeta2 / self._zeta))
+        # For n_items <= 2 every draw resolves in the uz < 1 + 0.5**theta
+        # fast paths of next(), so eta is unused — and its denominator is
+        # exactly zero at n_items == 2 (zeta == zeta2).
+        if n_items <= 2:
+            self._eta = 0.0
+        else:
+            self._eta = ((1 - (2.0 / n_items) ** (1 - theta))
+                         / (1 - self._zeta2 / self._zeta))
 
     @staticmethod
     def _zeta_static(n: int, theta: float) -> float:
@@ -86,8 +92,12 @@ class ZipfianGenerator:
             return 0
         if uz < 1.0 + 0.5 ** self.theta:
             return 1
-        return int(self.n_items
+        # As u -> 1 the base (eta*u - eta + 1) can round up to exactly
+        # 1.0, making the product n_items itself — outside the
+        # [0, n_items) contract — so clamp to the last rank.
+        rank = int(self.n_items
                    * (self._eta * u - self._eta + 1) ** self._alpha)
+        return rank if rank < self.n_items else self.n_items - 1
 
 
 class ScrambledZipfianGenerator:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from heapq import merge
 from typing import Optional
 
 __all__ = ["LatencyStats", "Measurements"]
@@ -80,9 +81,32 @@ class Measurements:
         self.error_events: list[tuple[float, str, str]] = []
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        #: op -> (sample count covered, sorted latencies).  ``samples``
+        #: is append-only, so a cache entry stays valid as long as the
+        #: count matches; on a miss only the new tail is sorted and
+        #: merged.  This is what keeps repeated :meth:`stats` calls (the
+        #: adaptive monitor polls every window) from re-sorting the full
+        #: history each time.
+        self._sorted_cache: dict[str, tuple[int, list[float]]] = {}
 
     def record(self, op: str, completed_at: float, latency: float) -> None:
         self.samples.setdefault(op, []).append((completed_at, latency))
+
+    def _sorted_latencies(self, op: str) -> list[float]:
+        samples = self.samples.get(op)
+        if not samples:
+            return []
+        n = len(samples)
+        cached = self._sorted_cache.get(op)
+        if cached is not None and cached[0] == n:
+            return cached[1]
+        if cached is not None and cached[0] < n:
+            tail = sorted(lat for _, lat in samples[cached[0]:])
+            latencies = list(merge(cached[1], tail))
+        else:
+            latencies = sorted(lat for _, lat in samples)
+        self._sorted_cache[op] = (n, latencies)
+        return latencies
 
     def record_error(self, op: str, kind: str = "error",
                      at: Optional[float] = None) -> None:
@@ -116,7 +140,7 @@ class Measurements:
         errors = self.errors.get(op, 0)
         if not samples:
             return LatencyStats(0, errors, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
-        latencies = sorted(lat for _, lat in samples)
+        latencies = self._sorted_latencies(op)
         return LatencyStats(
             count=len(latencies),
             errors=errors,
@@ -131,8 +155,10 @@ class Measurements:
 
     def overall_stats(self) -> LatencyStats:
         merged: list[float] = []
-        for op_samples in self.samples.values():
-            merged.extend(lat for _, lat in op_samples)
+        for op in self.samples:
+            # Reuse the per-op sorted caches; concatenated sorted runs
+            # re-sort in near-linear time (timsort run detection).
+            merged.extend(self._sorted_latencies(op))
         if not merged:
             return LatencyStats(0, self.total_errors,
                                 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)

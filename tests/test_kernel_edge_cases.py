@@ -178,3 +178,171 @@ class TestDeterminismUnderLoad:
             return trace
 
         assert run_once() == run_once()
+
+
+class TestAbandonedEventFailure:
+    """Regression: a process interrupted away from a pending event left a
+    stale ``_resume`` callback on it; when the abandoned event later
+    ``fail()``ed, the stale-callback guard returned early *without
+    defusing*, so ``Environment.step()`` re-raised and killed the run."""
+
+    def test_interrupted_waiter_defuses_later_failure(self, env):
+        from repro.sim.kernel import Interrupt
+
+        shared = env.event()
+
+        def waiter(env):
+            try:
+                yield shared
+            except Interrupt:
+                yield env.timeout(10)  # moved on to a different event
+                return "survived"
+
+        def interrupter(env, victim):
+            yield env.timeout(0.1)
+            victim.interrupt()
+
+        def failer(env):
+            yield env.timeout(0.5)
+            shared.fail(RuntimeError("boom"))
+
+        victim = env.process(waiter(env))
+        env.process(interrupter(env, victim))
+        env.process(failer(env))
+        assert env.run(until=victim) == "survived"
+        env.run()  # the failed event must not resurface afterwards
+
+    def test_terminated_waiter_defuses_later_failure(self, env):
+        from repro.sim.kernel import Interrupt
+
+        shared = env.event()
+
+        def waiter(env):
+            try:
+                yield shared
+            except Interrupt:
+                return "done early"  # terminates; the subscription stays
+
+        def interrupter(env, victim):
+            yield env.timeout(0.1)
+            victim.interrupt()
+
+        def failer(env):
+            yield env.timeout(0.5)
+            shared.fail(RuntimeError("boom"))
+
+        victim = env.process(waiter(env))
+        env.process(interrupter(env, victim))
+        env.process(failer(env))
+        assert env.run(until=victim) == "done early"
+        env.run()
+
+    def test_live_second_waiter_still_sees_failure(self, env):
+        """Defusing on behalf of a stale waiter must not swallow the
+        exception for a process genuinely waiting on the event."""
+        from repro.sim.kernel import Interrupt
+
+        shared = env.event()
+        outcomes = []
+
+        def abandoner(env):
+            try:
+                yield shared
+            except Interrupt:
+                yield env.timeout(10)
+
+        def live_waiter(env):
+            try:
+                yield shared
+            except RuntimeError:
+                outcomes.append("caught")
+
+        def interrupter(env, victim):
+            yield env.timeout(0.1)
+            victim.interrupt()
+
+        def failer(env):
+            yield env.timeout(0.5)
+            shared.fail(RuntimeError("boom"))
+
+        victim = env.process(abandoner(env))
+        env.process(live_waiter(env))
+        env.process(interrupter(env, victim))
+        env.process(failer(env))
+        env.run()
+        assert outcomes == ["caught"]
+
+
+class TestPendingTimeoutState:
+    """Regression: ``Timeout`` set ``_value`` eagerly in ``__init__``, so
+    ``triggered`` was True from creation and ``env.run(until=
+    env.timeout(10))`` returned immediately at ``now=0.0``."""
+
+    def test_timeout_not_triggered_until_fired(self, env):
+        timer = env.timeout(5)
+        assert not timer.triggered
+        env.run()
+        assert timer.triggered and timer.processed
+
+    def test_run_until_timeout_advances_clock(self, env):
+        env.timeout(3)  # unrelated earlier event
+        result = env.run(until=env.timeout(10, "stop-value"))
+        assert env.now == 10.0
+        assert result == "stop-value"
+
+    def test_run_until_timeout_with_busy_queue(self, env):
+        fired = []
+
+        def ticker(env):
+            while True:
+                yield env.timeout(1)
+                fired.append(env.now)
+
+        env.process(ticker(env))
+        env.run(until=env.timeout(4.5))
+        assert env.now == 4.5
+        assert fired == [1.0, 2.0, 3.0, 4.0]
+
+    def test_timeout_cannot_be_triggered_manually(self, env):
+        timer = env.timeout(1)
+        with pytest.raises(SimulationError):
+            timer.succeed()
+        with pytest.raises(SimulationError):
+            timer.fail(RuntimeError("no"))
+        with pytest.raises(SimulationError):
+            timer.trigger(env.event())
+
+    def test_anyof_acks_or_timeout_semantics(self, env):
+        """The guard-rail the ISSUE names: AnyOf(acks | timeout) must
+        still resolve to the acks when they win and to the timeout when
+        they lose."""
+        def acks_win(env):
+            acks = AllOf(env, [env.timeout(1, "a"), env.timeout(2, "b")])
+            timer = env.timeout(10, "late")
+            result = yield AnyOf(env, [acks, timer])
+            assert acks in result and timer not in result
+            return env.now
+
+        assert env.run(until=env.process(acks_win(env))) == 2.0
+
+        env2 = Environment()
+
+        def timer_wins(env):
+            slow = AllOf(env, [env.timeout(30, "slow")])
+            timer = env.timeout(0.5, "timeout")
+            result = yield AnyOf(env, [slow, timer])
+            assert timer in result and slow not in result
+            return env.now
+
+        assert env2.run(until=env2.process(timer_wins(env2))) == 0.5
+
+    def test_condition_collect_excludes_pending_timeouts(self, env):
+        """Condition values must not leak future timeouts (the old
+        workaround in ``Condition._collect`` is now structural)."""
+        def proc(env):
+            late = env.timeout(100, "late")
+            result = yield AnyOf(env, [env.timeout(1, "early"), late])
+            assert late not in result
+            return sorted(result.values())
+
+        assert env.run(until=env.process(proc(env))) == ["early"]

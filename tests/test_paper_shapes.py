@@ -224,6 +224,13 @@ class TestTailDefenseShapes:
         return sweep["slow_replica"]
 
     @pytest.fixture(scope="class")
+    def healthy(self):
+        from repro.core.sweep import QUICK_TAIL_SCALE, tail_sweep
+        sweep = tail_sweep("cassandra", QUICK_TAIL_SCALE, modes=("none",),
+                           scenarios=("healthy",))
+        return sweep["healthy"]
+
+    @pytest.fixture(scope="class")
     def overload(self):
         from repro.core.sweep import QUICK_TAIL_SCALE, tail_sweep
         sweep = tail_sweep("cassandra", QUICK_TAIL_SCALE,
@@ -236,11 +243,17 @@ class TestTailDefenseShapes:
         assert slow_replica["hedge"]["p99_ms"] <= \
             0.5 * slow_replica["none"]["p99_ms"]
 
-    def test_hedging_leaves_median_intact(self, slow_replica):
+    def test_hedging_leaves_median_intact(self, slow_replica, healthy):
         # Speculation is a tail tool; the common case must not pay for
-        # it (< 10% median regression).
+        # it (< 10% median regression).  The reference is the fault-free
+        # cell, not the undefended fault cell: with no defense the
+        # closed-loop threads park on the gray replica, the achieved
+        # load collapses, and the surviving ops see an artificially
+        # *deflated* median — hedging sustains the offered load, so
+        # comparing against that collapse would punish the defense for
+        # working.
         assert slow_replica["hedge"]["p50_ms"] < \
-            1.10 * slow_replica["none"]["p50_ms"]
+            1.10 * healthy["none"]["p50_ms"]
 
     def test_overload_sheds_are_explicit(self, overload):
         errors = overload["deadline"]["errors_by_type"]

@@ -157,3 +157,48 @@ class TestDiscreteGenerator:
     def test_labels(self):
         gen = DiscreteGenerator([("x", 1), ("y", 1)], random.Random(16))
         assert gen.labels == ["x", "y"]
+
+
+class TestZipfianFloatEdges:
+    """`next()` must honour the [0, n_items) contract even when the
+    uniform draw is so close to 1 that ``(eta*u - eta + 1) ** alpha``
+    rounds up to exactly 1.0 (regression: values == n_items escaped)."""
+
+    class _FixedRng:
+        def __init__(self, values):
+            self._values = list(values)
+
+        def random(self):
+            return self._values.pop(0)
+
+    def test_u_at_float_edge_clamped(self):
+        edges = [1 - 2**-53, 1 - 2**-52, 0.9999999999999999]
+        gen = ZipfianGenerator(1000, self._FixedRng(edges))
+        for _ in edges:
+            assert 0 <= gen.next() < 1000
+
+    def test_u_edge_various_item_counts(self):
+        for n in (1, 2, 3, 10, 97, 10_000):
+            gen = ZipfianGenerator(n, self._FixedRng([1 - 2**-53]))
+            assert 0 <= gen.next() < n
+
+    def test_hypothesis_sweep_to_one(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=300, deadline=None)
+        @given(u=st.floats(min_value=0.0, max_value=1.0,
+                           exclude_max=True,
+                           allow_nan=False, allow_infinity=False),
+               n=st.integers(min_value=1, max_value=100_000))
+        def check(u, n):
+            gen = ZipfianGenerator(n, self._FixedRng([u]))
+            assert 0 <= gen.next() < n
+
+        check()
+
+    def test_scrambled_unaffected_by_clamp(self):
+        # The scrambled variant masked the bug via %; the clamp must not
+        # change its in-range behaviour.
+        gen = ScrambledZipfianGenerator(50, self._FixedRng([1 - 2**-53]))
+        assert 0 <= gen.next() < 50
