@@ -78,7 +78,20 @@ class CassandraSession:
         my_dc = datacenters.get(self.client_node.node_id)
         local = [n for n in members
                  if datacenters.get(n.node_id) == my_dc and n.alive]
-        return local or members
+        if local:
+            return local
+        # The whole home DC is down.  LOCAL_QUORUM's guarantee is "a
+        # quorum of *one* DC's replicas" — it only composes into strong
+        # reads while every operation coordinates in the same DC.
+        # Falling back to a remote coordinator would silently turn it
+        # into "a quorum of whichever DC answered" (no overlap between
+        # a eu-west write quorum and a us-west read quorum), so like
+        # the DataStax DCAware policy we refuse and fail the operation
+        # honestly.  Weaker levels (LOCAL_ONE) promise nothing a remote
+        # coordinator can break: they degrade gracefully over the WAN.
+        if ConsistencyLevel.LOCAL_QUORUM in (self.read_cl, self.write_cl):
+            return []
+        return members
 
     def _next_coordinator(self) -> Node:
         members = self._coordinator_pool()

@@ -28,6 +28,10 @@ class ConsistencyLevel(enum.Enum):
     #: work).  On a single-rack cluster they degrade to ONE / QUORUM.
     LOCAL_ONE = "LOCAL_ONE"
     LOCAL_QUORUM = "LOCAL_QUORUM"
+    #: A quorum *in every datacenter*.  Write-only in Cassandra; the
+    #: coordinator does per-DC quorum accounting on geo clusters and
+    #: degrades to plain QUORUM arithmetic on a single rack.
+    EACH_QUORUM = "EACH_QUORUM"
 
     @property
     def is_datacenter_local(self) -> bool:
@@ -51,7 +55,11 @@ class ConsistencyLevel(enum.Enum):
         elif self is ConsistencyLevel.THREE:
             needed = 3
         elif self in (ConsistencyLevel.QUORUM,
-                      ConsistencyLevel.LOCAL_QUORUM):
+                      ConsistencyLevel.LOCAL_QUORUM,
+                      ConsistencyLevel.EACH_QUORUM):
+            # EACH_QUORUM counts per datacenter on geo clusters (the
+            # coordinator handles that); here it degrades to a plain
+            # quorum of whatever replica pool the caller passed.
             needed = replication // 2 + 1
         else:
             needed = replication

@@ -130,6 +130,13 @@ class Coordinator:
         retry = getattr(spec, "speculative_retry", None)
         #: Rapid read protection (speculative_retry); ``None`` = off.
         self.hedge = HedgePolicy(retry) if retry else None
+        #: Geo deployments hint on *failed* remote mutations too: a
+        #: replica that dies while the mutation is on the wire loses it
+        #: silently, and over a WAN that in-flight window is tens of
+        #: milliseconds of acknowledged writes (in-rack it is
+        #: microseconds, so the single-rack path skips the bookkeeping).
+        self._hint_on_failure = bool(
+            getattr(owner.placement, "replication_per_dc", None))
 
     # -- plumbing --------------------------------------------------------
 
@@ -219,6 +226,68 @@ class Coordinator:
         required = cl.required(len(local))
         return required, local + remote, len(local)
 
+    def _each_quorum_groups(
+            self, alive: list[int]
+    ) -> Optional[list[tuple[str, int, list[int]]]]:
+        """Per-datacenter ``(name, quorum, alive members)`` groups.
+
+        ``None`` when the deployment has no per-DC placement —
+        single-rack clusters degrade EACH_QUORUM to plain QUORUM
+        arithmetic via :meth:`_plan`.  The quorum is computed from the
+        *configured* per-DC replication factor, as in Cassandra: a
+        datacenter whose live replicas cannot reach its quorum makes the
+        whole write unavailable.
+        """
+        placement = self.owner.placement
+        per_dc = getattr(placement, "replication_per_dc", None)
+        if not per_dc:
+            return None
+        node_dc = placement.node_datacenter
+        groups = []
+        for dc, rf in per_dc.items():
+            if rf <= 0:
+                continue
+            members = [r for r in alive if node_dc.get(r) == dc]
+            groups.append((dc, rf // 2 + 1, members))
+        return groups
+
+    def _arm_failure_hints(self, ordered: list[int], acks: list,
+                           key: str, value, size: int,
+                           timestamp: float) -> None:
+        """Store a hint for any remote mutation that ultimately fails.
+
+        Covers the WAN in-flight window: a replica alive at fan-out time
+        that dies before the mutation lands drops it without a trace,
+        and at geo propagation delays that window holds tens of
+        acknowledged writes.  The hint is written when the fan-out proc
+        settles with an exception value (mid-flight death, timeout,
+        shed), long after the client ack — replay after heal then
+        restores convergence.  Redelivery is safe: mutations are
+        timestamped upserts.
+        """
+        owner = self.owner
+        store = owner.hints
+        stats = self.stats
+        my_id = owner.node.node_id
+
+        def arm(replica_id: int, proc) -> None:
+            def on_settle(event) -> None:
+                if isinstance(event._value, Exception):
+                    store.store(Hint(replica_id, key, value, size,
+                                     timestamp))
+                    stats["hints_stored"] += 1
+            if proc.callbacks is None:
+                if isinstance(proc.value, Exception):
+                    store.store(Hint(replica_id, key, value, size,
+                                     timestamp))
+                    stats["hints_stored"] += 1
+            else:
+                proc.callbacks.append(on_settle)
+
+        for replica_id, proc in zip(ordered, acks):
+            if replica_id != my_id:
+                arm(replica_id, proc)
+
     # -- write path -------------------------------------------------------
 
     def handle_write(self, payload) -> Generator:
@@ -247,11 +316,25 @@ class Coordinator:
         if end > env._now:
             yield Timeout(env, end - env._now)
         alive, replication = self._alive_replicas(key)
-        required, ordered, ack_pool = self._plan(cl, alive, replication)
-        if len(alive) < required:
-            raise UnavailableError(
-                f"write {cl.value} needs {required} replicas, "
-                f"{len(alive)} alive")
+        groups = (self._each_quorum_groups(alive)
+                  if cl is ConsistencyLevel.EACH_QUORUM else None)
+        if groups is not None:
+            # EACH_QUORUM: every datacenter must be able to reach its
+            # own quorum *before* any mutation is sent — an unreachable
+            # datacenter is a definitive UnavailableError naming it, not
+            # a timeout.
+            for dc, quorum, members in groups:
+                if len(members) < quorum:
+                    raise UnavailableError(
+                        f"write EACH_QUORUM needs {quorum} replicas in "
+                        f"datacenter {dc!r}, {len(members)} alive")
+            required, ordered, ack_pool = 0, alive, len(alive)
+        else:
+            required, ordered, ack_pool = self._plan(cl, alive, replication)
+            if len(alive) < required:
+                raise UnavailableError(
+                    f"write {cl.value} needs {required} replicas, "
+                    f"{len(alive)} alive")
         # Mutations go to every live replica; only the ack wait differs.
         # For LOCAL_* levels only acks from the coordinator's datacenter
         # (the first ``ack_pool`` candidates) satisfy the level.
@@ -264,6 +347,22 @@ class Coordinator:
             self.owner.hints.store(Hint(replica_id, key, value, size,
                                         timestamp))
             self.stats["hints_stored"] += 1
+        if self._hint_on_failure:
+            self._arm_failure_hints(ordered, acks, key, value, size,
+                                    timestamp)
+        if groups is not None:
+            # All fan-out procs are already in flight, so waiting on the
+            # groups one after another completes when the *slowest*
+            # datacenter reaches its quorum — exactly the EACH_QUORUM
+            # ack rule.
+            proc_of = dict(zip(ordered, acks))
+            for dc, quorum, members in groups:
+                yield from wait_for_k(
+                    self.env, [proc_of[r] for r in members], quorum,
+                    WriteTimeoutError(
+                        f"write EACH_QUORUM got < {quorum} acks in "
+                        f"datacenter {dc!r}"))
+            return True
         try:
             yield from wait_for_k(
                 self.env, acks[:ack_pool], required,
@@ -296,6 +395,10 @@ class Coordinator:
         key, cl_name, expected_bytes, *rest = payload
         deadline = rest[0] if rest else None
         cl = _CL_BY_VALUE.get(cl_name) or ConsistencyLevel(cl_name)
+        if cl is ConsistencyLevel.EACH_QUORUM:
+            # Cassandra rejects EACH_QUORUM reads; mirror that instead of
+            # silently degrading.
+            raise ValueError("EACH_QUORUM is a write-only consistency level")
         stats = self.stats
         stats["reads"] += 1
         key_by_cl = _READS_KEY[cl]

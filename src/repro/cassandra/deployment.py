@@ -66,8 +66,16 @@ class CassandraCluster:
             raise ValueError("Cassandra needs at least one server + client node")
         self.cluster = cluster
         self.spec = spec
-        self.client_node = cluster.node(len(cluster.nodes) - 1)
-        self.server_nodes = cluster.nodes[:-1]
+        # Geo clusters may host several client nodes (one per region);
+        # they report the split explicitly.  Single-rack clusters keep
+        # the last-node-is-client convention.
+        server_ids = getattr(cluster, "server_ids", None)
+        if server_ids is not None:
+            self.server_nodes = [cluster.node(nid) for nid in server_ids]
+            self.client_node = cluster.node(cluster.client_ids[0])
+        else:
+            self.client_node = cluster.node(len(cluster.nodes) - 1)
+            self.server_nodes = cluster.nodes[:-1]
         self.ring = TokenRing([n.node_id for n in self.server_nodes],
                               spec.vnodes, cluster.rngs.stream("ring"))
         if spec.replication_per_dc is not None:

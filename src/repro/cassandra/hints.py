@@ -4,6 +4,15 @@ When a write's target replica is dead, the coordinator stores a *hint*
 locally and delivers it once the target comes back — keeping writes
 available at consistency level ONE through node failures (the paper's
 availability story for Cassandra).
+
+Geo deployments lean on this much harder: a multi-second datacenter
+partition accumulates thousands of hints per coordinator, and replaying
+them one at a time over a ~75 ms WAN round trip would take minutes of
+simulated time.  Replay therefore ships hints in bounded concurrent
+batches, and targets that fail delivery back off exponentially (doubling
+from ``base_backoff_s`` up to ``max_backoff_s``) instead of being
+hammered every interval.  Hints are never dropped: an acknowledged write
+stays durable until the healed replica has taken the mutation.
 """
 
 from __future__ import annotations
@@ -15,6 +24,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cassandra.node import CassandraNode
 
 __all__ = ["Hint", "HintStore"]
+
+
+class _BatchIncomplete(Exception):
+    """Internal wait_for_k sentinel: some hints in a batch failed."""
 
 
 @dataclass(frozen=True)
@@ -30,17 +43,36 @@ class HintStore:
     """Per-coordinator hint queue with a periodic delivery loop."""
 
     def __init__(self, owner: "CassandraNode",
-                 replay_interval_s: float = 1.0) -> None:
+                 replay_interval_s: float = 1.0,
+                 replay_batch: int = 32,
+                 base_backoff_s: float = 0.5,
+                 max_backoff_s: float = 8.0) -> None:
         self.owner = owner
         self.replay_interval_s = replay_interval_s
+        #: Max concurrent deliveries per replay wave (bounds WAN fan-in
+        #: on a freshly healed datacenter).
+        self.replay_batch = replay_batch
+        self.base_backoff_s = base_backoff_s
+        self.max_backoff_s = max_backoff_s
         self._hints: list[Hint] = []
+        #: target node id -> earliest next delivery attempt (sim time).
+        self._not_before: dict[int, float] = {}
+        #: target node id -> current backoff (doubles per failure).
+        self._backoff: dict[int, float] = {}
         self.stored = 0
         self.delivered = 0
+        self.attempts = 0
+        self.failures = 0
         owner.node.env.process(self._replayer(),
                                name=f"hints-{owner.node.node_id}")
 
     def __len__(self) -> int:
         return len(self._hints)
+
+    def pending_for(self, cluster) -> int:
+        """Hints whose target is currently alive (deliverable backlog)."""
+        return sum(1 for h in self._hints
+                   if cluster.node(h.target_node_id).alive)
 
     def store(self, hint: Hint) -> None:
         self._hints.append(hint)
@@ -49,6 +81,7 @@ class HintStore:
         self.owner.node.disk.append_buffered(hint.size + 64)
 
     def _replayer(self) -> Generator:
+        from repro.cassandra.coordinator import wait_for_k
         cluster = self.owner.cluster
         env = self.owner.node.env
         while True:
@@ -58,19 +91,46 @@ class HintStore:
             # (the hints sit in the owner's local system.hints table).
             if not self.owner.node.alive:
                 continue
-            deliverable = [h for h in self._hints
-                           if cluster.node(h.target_node_id).alive]
-            for hint in deliverable:
+            now = env.now
+            deliverable = [
+                h for h in self._hints
+                if cluster.node(h.target_node_id).alive
+                and now >= self._not_before.get(h.target_node_id, 0.0)]
+            index = 0
+            while index < len(deliverable):
                 if not self.owner.node.alive:
                     break  # owner crashed mid-replay
+                batch = deliverable[index:index + self.replay_batch]
+                index += self.replay_batch
+                procs = [cluster.call_async(
+                    self.owner.node, cluster.node(h.target_node_id),
+                    "c.mutate", (h.key, h.value, h.size, h.timestamp),
+                    request_bytes=h.size + 60, response_bytes=20,
+                    timeout=2.0) for h in batch]
                 try:
-                    yield from cluster.call(
-                        self.owner.node, cluster.node(hint.target_node_id),
-                        "c.mutate",
-                        (hint.key, hint.value, hint.size, hint.timestamp),
-                        request_bytes=hint.size + 60, response_bytes=20,
-                        timeout=2.0)
-                except Exception:
-                    continue  # target died again; keep the hint
-                self._hints.remove(hint)
-                self.delivered += 1
+                    # k == len(procs): completes once every delivery in
+                    # the wave has finished (successes early-exit, the
+                    # failure path settles when all are processed).
+                    yield from wait_for_k(env, procs, len(procs),
+                                          _BatchIncomplete())
+                except _BatchIncomplete:
+                    pass
+                for hint, proc in zip(batch, procs):
+                    self.attempts += 1
+                    ok = (proc.processed
+                          and not isinstance(proc.value, Exception))
+                    target = hint.target_node_id
+                    if ok:
+                        self._hints.remove(hint)
+                        self.delivered += 1
+                        self._not_before.pop(target, None)
+                        self._backoff.pop(target, None)
+                    else:
+                        # Target died again (or timed out): keep the
+                        # hint, back the target off exponentially.
+                        self.failures += 1
+                        backoff = self._backoff.get(
+                            target, self.base_backoff_s)
+                        self._not_before[target] = env.now + backoff
+                        self._backoff[target] = min(
+                            backoff * 2.0, self.max_backoff_s)

@@ -16,9 +16,17 @@ happened — including *no-op* entries when a fault fires against a node
 already in the requested state — so availability reports
 (:mod:`repro.core.failover`) can reconstruct the degraded window exactly.
 
-Schedules are validated before anything is armed: unknown node ids and
-overlapping fault windows on the same node are rejected with
-:class:`ValueError`.
+Schedules are validated before anything is armed: unknown node ids,
+unknown datacenters and overlapping fault windows on the same target are
+rejected with :class:`UnknownFaultTargetError` / :class:`ValueError` —
+a fault can never silently no-op its way through a run because its
+target does not exist.
+
+Geo campaigns add datacenter-scoped kinds: ``dc_partition`` cuts every
+*server* in one datacenter off the fabric (region clients stay up and
+observe the outage honestly), ``wan_degrade`` stretches every cross-DC
+link by a multiplier (see :meth:`repro.cluster.geo.GeoCluster.degrade_wan`)
+and ``dc_slow_nic`` degrades the NICs of one datacenter's servers.
 """
 
 from __future__ import annotations
@@ -32,6 +40,8 @@ __all__ = [
     "FAULT_KINDS",
     "CrashEvent",
     "CrashFault",
+    "DcPartitionFault",
+    "DcSlowNicFault",
     "DiskDegradeFault",
     "FailureInjector",
     "FaultSchedule",
@@ -39,10 +49,21 @@ __all__ = [
     "FlapFault",
     "NicDegradeFault",
     "PartitionFault",
+    "UnknownFaultTargetError",
+    "WanDegradeFault",
 ]
 
 #: The declarative fault kinds a :class:`FaultSpec` can name.
-FAULT_KINDS = ("crash", "flap", "partition", "slow_nic", "slow_disk")
+FAULT_KINDS = ("crash", "flap", "partition", "slow_nic", "slow_disk",
+               "dc_partition", "wan_degrade", "dc_slow_nic")
+
+#: The kinds that target a datacenter (or the WAN fabric) rather than a
+#: node id; they require a geo cluster.
+DC_FAULT_KINDS = ("dc_partition", "wan_degrade", "dc_slow_nic")
+
+
+class UnknownFaultTargetError(ValueError):
+    """A fault names a node id or datacenter the cluster does not have."""
 
 
 # -- concrete fault types --------------------------------------------------
@@ -212,6 +233,114 @@ class DiskDegradeFault:
             injector._set_disk(self.node_id, 1.0, "disk_heal")
 
 
+@dataclass(frozen=True)
+class DcPartitionFault:
+    """Cut one datacenter's *servers* off the fabric for ``duration_s``.
+
+    The region's client node stays up, so its operations observe the
+    outage honestly (UnavailableError / WAN fallback) instead of the
+    whole region silently vanishing from the measurements.  Node ids are
+    resolved from the cluster at fire time; validation checks the
+    datacenter name instead of node ids.
+    """
+
+    datacenter: str
+    at_s: float
+    duration_s: Optional[float] = None
+
+    def targets(self) -> tuple[int, ...]:
+        return ()
+
+    def window(self) -> tuple[float, float]:
+        end = (float("inf") if self.duration_s is None
+               else self.at_s + self.duration_s)
+        return (self.at_s, end)
+
+    def run(self, injector: "FailureInjector") -> Generator:
+        env = injector.cluster.env
+        if self.at_s > env.now:
+            yield env.timeout(self.at_s - env.now)
+        for node_id in injector._dc_servers(self.datacenter):
+            injector._kill(node_id, "dc_partition")
+        if self.duration_s is not None:
+            yield env.timeout(self.duration_s)
+            for node_id in injector._dc_servers(self.datacenter):
+                injector._revive(node_id, "dc_heal")
+
+
+@dataclass(frozen=True)
+class WanDegradeFault:
+    """Stretch every cross-datacenter link by ``factor`` (>= 1).
+
+    Models a congested / rerouted WAN: propagation grows and usable
+    bandwidth thins by the same multiplier (see
+    :meth:`repro.cluster.geo.GeoCluster.degrade_wan`).  Logged against
+    the pseudo-node id ``-1`` since it is fabric-wide.
+    """
+
+    at_s: float
+    duration_s: Optional[float] = None
+    factor: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ValueError(f"wan factor must be >= 1, got {self.factor}")
+
+    def targets(self) -> tuple[int, ...]:
+        return ()
+
+    def window(self) -> tuple[float, float]:
+        end = (float("inf") if self.duration_s is None
+               else self.at_s + self.duration_s)
+        return (self.at_s, end)
+
+    def run(self, injector: "FailureInjector") -> Generator:
+        env = injector.cluster.env
+        if self.at_s > env.now:
+            yield env.timeout(self.at_s - env.now)
+        injector._set_wan(self.factor, "wan_degrade")
+        if self.duration_s is not None:
+            yield env.timeout(self.duration_s)
+            injector._set_wan(1.0, "wan_heal")
+
+
+@dataclass(frozen=True)
+class DcSlowNicFault:
+    """NIC degradation on every server of one datacenter.
+
+    The asymmetric-link gray failure: one region's egress/ingress slows
+    by ``slowdown`` while the rest of the fleet is healthy.
+    """
+
+    datacenter: str
+    at_s: float
+    duration_s: Optional[float] = None
+    slowdown: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {self.slowdown}")
+
+    def targets(self) -> tuple[int, ...]:
+        return ()
+
+    def window(self) -> tuple[float, float]:
+        end = (float("inf") if self.duration_s is None
+               else self.at_s + self.duration_s)
+        return (self.at_s, end)
+
+    def run(self, injector: "FailureInjector") -> Generator:
+        env = injector.cluster.env
+        if self.at_s > env.now:
+            yield env.timeout(self.at_s - env.now)
+        for node_id in injector._dc_servers(self.datacenter):
+            injector._set_nic(node_id, self.slowdown, "nic_degrade")
+        if self.duration_s is not None:
+            yield env.timeout(self.duration_s)
+            for node_id in injector._dc_servers(self.datacenter):
+                injector._set_nic(node_id, 1.0, "nic_heal")
+
+
 # -- declarative spec (config-level) ---------------------------------------
 
 @dataclass(frozen=True)
@@ -234,16 +363,21 @@ class FaultSpec:
     cycles: int = 3
     #: flap only: uptime between down periods.
     up_s: float = 1.0
-    #: slow_nic / slow_disk only: service-time multiplier.
+    #: slow_nic / slow_disk / dc_slow_nic / wan_degrade: multiplier.
     severity: float = 8.0
     #: partition only: how many consecutive node ids (from ``node_id``)
     #: land on the minority side of the split.
     span: int = 2
+    #: dc_partition / dc_slow_nic only: which datacenter the fault hits.
+    datacenter: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}; "
                              f"choose from {FAULT_KINDS}")
+        if self.kind in ("dc_partition", "dc_slow_nic") \
+                and self.datacenter is None:
+            raise ValueError(f"fault kind {self.kind!r} needs a datacenter")
 
     def resolve(self, base_s: float = 0.0):
         """The concrete fault, with ``at_s`` offset to absolute time."""
@@ -260,6 +394,14 @@ class FaultSpec:
         if self.kind == "slow_nic":
             return NicDegradeFault(self.node_id, at, self.duration_s,
                                    slowdown=self.severity)
+        if self.kind == "dc_partition":
+            return DcPartitionFault(self.datacenter, at, self.duration_s)
+        if self.kind == "wan_degrade":
+            return WanDegradeFault(at, self.duration_s,
+                                   factor=self.severity)
+        if self.kind == "dc_slow_nic":
+            return DcSlowNicFault(self.datacenter, at, self.duration_s,
+                                  slowdown=self.severity)
         return DiskDegradeFault(self.node_id, at, self.duration_s,
                                 slowdown=self.severity)
 
@@ -278,22 +420,49 @@ class FaultSchedule:
         """Resolve declarative specs at ``base_s`` (the run's start)."""
         return cls(spec.resolve(base_s) for spec in specs)
 
-    def validate(self, n_nodes: int) -> None:
-        """Reject unknown nodes and overlapping windows on one node."""
-        per_node: dict[int, list[tuple[float, float]]] = {}
+    def validate(self, n_nodes: int,
+                 datacenters: Optional[set] = None) -> None:
+        """Reject unknown targets and overlapping windows on one target.
+
+        ``datacenters`` is the set of datacenter names the cluster has
+        (``None`` on single-rack clusters).  Datacenter-scoped faults on
+        a cluster without datacenters, and faults naming an unknown node
+        or datacenter, fail fast with :class:`UnknownFaultTargetError`
+        at arm time instead of silently no-opping mid-run.
+        """
+        per_target: dict[object, list[tuple[float, float]]] = {}
         for fault in self.faults:
             for node_id in fault.targets():
                 if not 0 <= node_id < n_nodes:
-                    raise ValueError(
+                    raise UnknownFaultTargetError(
                         f"fault {fault!r} targets unknown node {node_id} "
                         f"(cluster has nodes 0..{n_nodes - 1})")
-                per_node.setdefault(node_id, []).append(fault.window())
-        for node_id, windows in per_node.items():
+                per_target.setdefault(node_id, []).append(fault.window())
+            dc = getattr(fault, "datacenter", None)
+            if dc is not None:
+                if datacenters is None:
+                    raise UnknownFaultTargetError(
+                        f"fault {fault!r} targets datacenter {dc!r} but "
+                        f"the cluster has no datacenters (geo cluster "
+                        f"required)")
+                if dc not in datacenters:
+                    raise UnknownFaultTargetError(
+                        f"fault {fault!r} targets unknown datacenter "
+                        f"{dc!r} (cluster has {sorted(datacenters)})")
+                per_target.setdefault(("dc", dc), []).append(fault.window())
+            if isinstance(fault, WanDegradeFault):
+                if datacenters is None:
+                    raise UnknownFaultTargetError(
+                        f"fault {fault!r} degrades the WAN but the "
+                        f"cluster has no datacenters (geo cluster "
+                        f"required)")
+                per_target.setdefault("wan", []).append(fault.window())
+        for target, windows in per_target.items():
             windows.sort()
             for (_, prev_end), (next_start, _) in zip(windows, windows[1:]):
                 if next_start < prev_end:
                     raise ValueError(
-                        f"overlapping faults on node {node_id}: a fault "
+                        f"overlapping faults on {target}: a fault "
                         f"starting at {next_start}s begins before the "
                         f"previous one ends at {prev_end}s")
 
@@ -322,11 +491,16 @@ class FailureInjector:
 
     def inject(self, schedule: FaultSchedule) -> None:
         """Validate ``schedule`` against the cluster, then arm every fault."""
-        schedule.validate(len(self.cluster.nodes))
+        node_dc = getattr(self.cluster, "node_datacenter", None)
+        datacenters = set(node_dc.values()) if node_dc is not None else None
+        schedule.validate(len(self.cluster.nodes), datacenters=datacenters)
         for fault in schedule.faults:
+            targets = fault.targets()
+            scope = (targets[0] if targets
+                     else getattr(fault, "datacenter", None) or "wan")
             self.cluster.env.process(
                 fault.run(self),
-                name=f"fault-{type(fault).__name__}-{fault.targets()[0]}")
+                name=f"fault-{type(fault).__name__}-{scope}")
 
     # -- primitives used by the fault types (idempotent, logged) ----------
 
@@ -361,3 +535,18 @@ class FailureInjector:
         else:
             disk.slowdown = slowdown
             self.log.append((self.cluster.env.now, node_id, action))
+
+    def _set_wan(self, factor: float, action: str) -> None:
+        cluster = self.cluster
+        if cluster.wan_factor == factor:
+            self.log.append((cluster.env.now, -1, action + "-noop"))
+        elif factor == 1.0:
+            cluster.heal_wan()
+            self.log.append((cluster.env.now, -1, action))
+        else:
+            cluster.degrade_wan(factor)
+            self.log.append((cluster.env.now, -1, action))
+
+    def _dc_servers(self, dc_name: str) -> list[int]:
+        """Server node ids of one datacenter (geo clusters only)."""
+        return self.cluster.servers_in(dc_name)

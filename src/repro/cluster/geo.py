@@ -19,7 +19,7 @@ from typing import Generator, Optional
 
 from repro.cluster.nic import NetworkSpec, Nic
 from repro.cluster.node import Node, NodeSpec
-from repro.sim.kernel import Environment
+from repro.sim.kernel import Environment, Timeout
 from repro.sim.rng import RngRegistry
 
 __all__ = ["GeoCluster", "GeoSpec", "DEFAULT_REGION_RTTS"]
@@ -43,6 +43,10 @@ class GeoSpec:
         "eu-west": 5, "us-west": 5, "ap-southeast": 5})
     #: Which datacenter hosts the (single) client node.
     client_datacenter: str = "eu-west"
+    #: Optional multi-region client layout: one client node per listed
+    #: datacenter, appended after the servers in this order.  ``None``
+    #: keeps the legacy single-client layout in ``client_datacenter``.
+    client_datacenters: Optional[tuple] = None
     #: One-way inter-DC latency (seconds), keyed by frozenset of DC names.
     region_latency_s: dict = field(
         default_factory=lambda: dict(DEFAULT_REGION_RTTS))
@@ -83,9 +87,12 @@ class _GeoNetwork:
             base = spec.local_latency_s
             extra = 0.0
         else:
-            base = spec.region_latency_s[frozenset({src_dc, dst_dc})]
+            # A degraded WAN stretches propagation and thins bandwidth
+            # by the cluster's current wan_factor (1.0 = healthy).
+            wan = self.geo.wan_factor
+            base = spec.region_latency_s[frozenset({src_dc, dst_dc})] * wan
             # WAN serialization at the thinner inter-DC bandwidth.
-            extra = size / spec.wan_bandwidth_bps
+            extra = size * wan / spec.wan_bandwidth_bps
         factor = 0.7 + self._rng.expovariate(1.0 / 0.6)
         return base * factor + extra
 
@@ -123,12 +130,31 @@ class GeoCluster:
                 self.node_datacenter[node_id] = dc_name
                 self._nic_datacenter[id(node.nic)] = dc_name
                 node_id += 1
-        client = Node(env, node_id, spec.node,
-                      rngs.stream(f"disk.{node_id}"))
-        self.nodes.append(client)
-        self.node_datacenter[node_id] = spec.client_datacenter
-        self._nic_datacenter[id(client.nic)] = spec.client_datacenter
+        self.server_ids: list[int] = list(range(node_id))
+        self.client_ids: list[int] = []
+        #: Datacenter name -> its client node id (multi-region layouts).
+        self._client_by_dc: dict[str, int] = {}
+        client_dcs = (spec.client_datacenters
+                      if spec.client_datacenters is not None
+                      else (spec.client_datacenter,))
+        for dc_name in client_dcs:
+            if dc_name not in spec.datacenters:
+                raise ValueError(f"client datacenter {dc_name!r} is not a "
+                                 f"configured datacenter")
+            if dc_name in self._client_by_dc:
+                raise ValueError(f"duplicate client datacenter {dc_name!r}")
+            client = Node(env, node_id, spec.node,
+                          rngs.stream(f"disk.{node_id}"))
+            self.nodes.append(client)
+            self.node_datacenter[node_id] = dc_name
+            self._nic_datacenter[id(client.nic)] = dc_name
+            self.client_ids.append(node_id)
+            self._client_by_dc[dc_name] = node_id
+            node_id += 1
 
+        #: WAN degradation multiplier applied to cross-DC latency and
+        #: serialization (fault hook, like Nic.slowdown).  1.0 = healthy.
+        self.wan_factor = 1.0
         self.network = _GeoNetwork(env, self, rngs.stream("geo.network"))
         self.rpc_count = 0
         #: Requests whose propagated deadline expired before the server
@@ -173,19 +199,96 @@ class GeoCluster:
         return self._nic_datacenter[id(nic)]
 
     def servers_in(self, dc_name: str) -> list[int]:
-        """Server node ids of one datacenter (excludes the client node)."""
-        client_id = len(self.nodes) - 1
+        """Server node ids of one datacenter (excludes client nodes)."""
+        clients = set(self.client_ids)
         return [nid for nid, dc in self.node_datacenter.items()
-                if dc == dc_name and nid != client_id]
+                if dc == dc_name and nid not in clients]
+
+    def client_in(self, dc_name: str) -> Node:
+        """The client node hosted in ``dc_name``."""
+        if dc_name not in self._client_by_dc:
+            raise ValueError(f"no client node in datacenter {dc_name!r}")
+        return self.nodes[self._client_by_dc[dc_name]]
+
+    def degrade_wan(self, factor: float) -> None:
+        """Stretch every cross-DC link by ``factor`` (fault hook)."""
+        if factor < 1.0:
+            raise ValueError(f"wan factor must be >= 1, got {factor}")
+        self.wan_factor = factor
+
+    def heal_wan(self) -> None:
+        self.wan_factor = 1.0
 
     # -- RPC (same protocol as Cluster) ---------------------------------
 
     def _rpc_body(self, src, dst, verb, payload, request_bytes,
                   response_bytes, deadline=None, src_cpu_s=0.0):
-        from repro.cluster.topology import Cluster
-        return Cluster._rpc_body(self, src, dst, verb, payload,
-                                 request_bytes, response_bytes, deadline,
-                                 src_cpu_s)
+        """One RPC round trip, WAN-aware (see ``Cluster._rpc_body``).
+
+        Same stage pipeline as the single-rack transport, with one
+        difference: a cross-datacenter leg books the receiver's ingress
+        NIC at the *arrival* instant, not optimistically at send time.
+        The busy-until approximation assumes reservation order tracks
+        arrival order, which holds in-rack (every hop is tens of
+        microseconds) but collapses across a WAN — a mutation booked
+        90 ms ahead would park the replica's ingress channel in the
+        future and queue every rack-local message behind a link that is
+        actually idle.  The deferral costs one extra kernel event per
+        WAN leg, noise against the propagation delay itself.
+        """
+        from repro.cluster.topology import _EXPIRED, _NO_RESPONSE
+        env = self.env
+        spec = self.spec
+        network = self.network
+        rpc_cpu = spec.rpc_cpu_s
+        node_dc = self.node_datacenter
+        cross = node_dc[src.node_id] != node_dc[dst.node_id]
+        size = request_bytes + spec.envelope_bytes
+        network.messages += 1
+        cpu_done = src.reserve_cpu(src_cpu_s + rpc_cpu)
+        arrival = (src.nic.reserve_egress(size, at=cpu_done)
+                   + network.sample_latency(src.nic, dst.nic, size))
+        if cross:
+            now = env._now
+            if arrival > now:
+                yield Timeout(env, arrival - now)
+            handler_at = dst.reserve_cpu(rpc_cpu,
+                                         at=dst.nic.reserve_ingress(size))
+        else:
+            handler_at = dst.reserve_cpu(
+                rpc_cpu, at=dst.nic.reserve_ingress(size, at=arrival))
+        now = env._now
+        if handler_at > now:
+            yield Timeout(env, handler_at - now)
+        if not dst.alive:
+            return _NO_RESPONSE
+        if deadline is not None and env._now >= deadline:
+            self.abandoned_rpcs += 1
+            return _EXPIRED
+        handler = dst.handlers.get(verb)
+        if handler is None:
+            raise LookupError(
+                f"node {dst.node_id} has no handler for {verb!r}")
+        result = yield from handler(payload)
+        if not dst.alive:
+            return _NO_RESPONSE
+        size = response_bytes + spec.envelope_bytes
+        network.messages += 1
+        back = (dst.nic.reserve_egress(size)
+                + network.sample_latency(dst.nic, src.nic, size))
+        if cross:
+            now = env._now
+            if back > now:
+                yield Timeout(env, back - now)
+            done = src.reserve_cpu(rpc_cpu,
+                                   at=src.nic.reserve_ingress(size))
+        else:
+            done = src.reserve_cpu(
+                rpc_cpu, at=src.nic.reserve_ingress(size, at=back))
+        now = env._now
+        if done > now:
+            yield Timeout(env, done - now)
+        return result
 
     def call(self, src, dst, verb, payload=None, request_bytes=0,
              response_bytes=0, timeout: Optional[float] = None,

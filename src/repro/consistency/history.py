@@ -123,11 +123,19 @@ class HistoryRecorder:
     def __init__(self, inner, env, history: Optional[History] = None,
                  tag_writes: bool = True,
                  read_cl: Optional[Callable[[], str]] = None,
-                 write_cl: Optional[Callable[[], str]] = None) -> None:
+                 write_cl: Optional[Callable[[], str]] = None,
+                 tag_prefix: str = "h") -> None:
         self.inner = inner
         self.env = env
         self.history = history if history is not None else History()
         self.tag_writes = tag_writes
+        #: Tag namespace.  When several recorded runs share one database
+        #: (a geo cell measures once per client region), a bare ``h<id>``
+        #: from an earlier run survives in the store and would alias a
+        #: *different* op id in the next run's history — the checker
+        #: would map a stale-but-legitimate pre-run value onto one of its
+        #: own writes.  Callers therefore pass a per-run prefix.
+        self.tag_prefix = tag_prefix
         self._read_cl = read_cl
         self._write_cl = write_cl
         self._next_id = 0
@@ -142,7 +150,7 @@ class HistoryRecorder:
     def _write(self, method, key: str, value: Any, size: int) -> Generator:
         self._next_id += 1
         op_id = self._next_id
-        tag = f"h{op_id}" if self.tag_writes else value
+        tag = f"{self.tag_prefix}{op_id}" if self.tag_writes else value
         session = self._session()
         cl = self._write_cl() if self._write_cl is not None else None
         invoke = self.env.now

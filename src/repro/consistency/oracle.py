@@ -27,11 +27,62 @@ SESSION_KINDS = ("stale_read", "read_your_writes", "monotonic_reads")
 VIOLATION_KINDS = ("linearizability",) + SESSION_KINDS + ("convergence",)
 
 
+def _quorum(n: int) -> int:
+    return n // 2 + 1
+
+
+def _geo_strong(read_cl: ConsistencyLevel, write_cl: ConsistencyLevel,
+                per_dc: dict, client_dc: Optional[str]) -> bool:
+    """Overlap classification for DC-aware levels on a geo deployment.
+
+    The session's coordinators sit in ``client_dc`` (DC-aware driver),
+    so LOCAL_* levels count replicas of that datacenter.  The read
+    quorum must intersect the set of replicas the write level is
+    *guaranteed* to have acknowledged — locally for LOCAL_* reads,
+    globally for the plain levels.  ``client_dc`` unknown ⇒ classify
+    against the smallest datacenter (conservative).
+    """
+    total = sum(per_dc.values())
+    if client_dc is not None and client_dc in per_dc:
+        rf_local = per_dc[client_dc]
+    else:
+        rf_local = min(per_dc.values())
+
+    #: Replica acks the write level guarantees inside the client's DC.
+    write_local_min = {
+        ConsistencyLevel.LOCAL_ONE: 1,
+        ConsistencyLevel.LOCAL_QUORUM: _quorum(rf_local),
+        ConsistencyLevel.EACH_QUORUM: _quorum(rf_local),
+        ConsistencyLevel.ALL: rf_local,
+    }.get(write_cl)
+    if write_local_min is None:
+        # Plain levels spread acks anywhere: only the acks that cannot
+        # fit outside the client's DC are guaranteed local.
+        acks = write_cl.required(total)
+        write_local_min = max(0, acks - (total - rf_local))
+
+    if read_cl.is_datacenter_local:
+        return read_cl.required(rf_local) + write_local_min > rf_local
+
+    #: Global reads intersect against the write's global guarantee.
+    write_global_min = {
+        ConsistencyLevel.LOCAL_ONE: 1,
+        ConsistencyLevel.LOCAL_QUORUM: _quorum(rf_local),
+        ConsistencyLevel.EACH_QUORUM: sum(_quorum(rf)
+                                          for rf in per_dc.values()),
+        ConsistencyLevel.ALL: total,
+    }.get(write_cl)
+    if write_global_min is None:
+        write_global_min = write_cl.required(total)
+    return read_cl.required(total) + write_global_min > total
+
+
 def build_consistency_report(history: History, *, db: str,
                              read_cl: Optional[ConsistencyLevel] = None,
                              write_cl: Optional[ConsistencyLevel] = None,
                              replication: int = 3,
                              cassandra=None,
+                             client_dc: Optional[str] = None,
                              max_states: int = 200_000) -> dict:
     """Check one recorded run and summarize the verdict.
 
@@ -40,9 +91,23 @@ def build_consistency_report(history: History, *, db: str,
     hint replay have drained.  HBase is always ``strong``: a region has
     one serving owner, so its reads are trivially linearizable — the
     checker then guards the client/failover path, not quorum math.
+
+    On a geo deployment (the placement carries per-DC replication),
+    ``client_dc`` names the datacenter whose client drove this history;
+    the strong/weak classification then uses the DC-aware overlap rule
+    (:func:`_geo_strong`) — e.g. LOCAL_QUORUM+LOCAL_QUORUM from one
+    region is strong, LOCAL_ONE never is, and EACH_QUORUM writes make
+    LOCAL_QUORUM reads strong from *any* region.
     """
+    per_dc = (getattr(getattr(cassandra, "placement", None),
+                      "replication_per_dc", None)
+              if cassandra is not None else None)
     if db == "hbase":
         strong = True
+    elif per_dc:
+        strong = _geo_strong(read_cl or ConsistencyLevel.ONE,
+                             write_cl or ConsistencyLevel.ONE,
+                             per_dc, client_dc)
     else:
         strong = (read_cl or ConsistencyLevel.ONE).is_strong_with(
             write_cl or ConsistencyLevel.ONE, replication)
@@ -69,6 +134,7 @@ def build_consistency_report(history: History, *, db: str,
         "read_cl": read_cl.value if read_cl is not None else None,
         "write_cl": write_cl.value if write_cl is not None else None,
         "replication": replication,
+        "client_dc": client_dc,
         "strong": strong,
         "checked": {
             "linearizability": strong,

@@ -23,6 +23,7 @@ from repro.core.report import (
     render_consistency_sweep,
     render_failover_sweep,
     render_failover_timeline,
+    render_geo_sweep,
     render_micro_sweep,
     render_progress,
     render_stress_sweep,
@@ -41,9 +42,12 @@ from repro.core.runner import CellRunner, default_cache_dir
 from repro.core.sweep import (
     ADAPTIVE_POLICIES,
     CHECK_CL_MODES,
+    GEO_CL_MODES,
+    GEO_SCENARIOS,
     QUICK_ADAPTIVE_SCALE,
     QUICK_CHECK_SCALE,
     QUICK_FAILOVER_SCALE,
+    QUICK_GEO_SCALE,
     QUICK_SCALE,
     QUICK_TAIL_SCALE,
     TAIL_MODES,
@@ -51,12 +55,14 @@ from repro.core.sweep import (
     AdaptiveScale,
     CheckScale,
     FailoverScale,
+    GeoScale,
     SweepScale,
     TailScale,
     adaptive_sweep,
     check_sweep,
     consistency_stress_sweep,
     failover_sweep,
+    geo_sweep,
     replication_micro_sweep,
     replication_stress_sweep,
     tail_sweep,
@@ -211,6 +217,36 @@ def cmd_adaptive(args) -> int:
         with open(args.report, "w", encoding="utf-8") as fh:
             json.dump(sweep, fh, indent=2, sort_keys=True)
         print(f"wrote {args.report}", file=sys.stderr)
+    return 0
+
+
+def cmd_geo(args) -> int:
+    """Geo-replication campaign: DC-aware CLs x WAN faults x client
+    regions, with the cross-DC oracle verdict per run.  ``--strict``
+    fails the process on any violation the configured guarantee forbids
+    — for LOCAL_* that means divergence surviving heal + hint replay."""
+    from repro.consistency.oracle import unexpected_violations
+    scale = QUICK_GEO_SCALE if args.quick else GeoScale()
+    modes = args.modes or list(GEO_CL_MODES)
+    scenarios = args.scenarios or list(GEO_SCENARIOS)
+    sweep = geo_sweep(modes, scenarios, scale, runner=_runner(args))
+    print(render_geo_sweep(sweep))
+    unexpected = 0
+    for mode in sweep:
+        for scenario, regions in sweep[mode].items():
+            for region, summary in regions.items():
+                count = unexpected_violations(summary["consistency"])
+                if count:
+                    print(f"unexpected violations: {mode}/{scenario}"
+                          f"/{region}: {count}", file=sys.stderr)
+                unexpected += count
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(sweep, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.report}", file=sys.stderr)
+    if args.strict and unexpected:
+        print(f"FAIL: {unexpected} unexpected violation(s)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -384,6 +420,30 @@ def build_parser() -> argparse.ArgumentParser:
                             help="recompute every cell instead of reusing "
                                  f"the cell cache ({default_cache_dir()})")
     p_adaptive.set_defaults(func=cmd_adaptive)
+
+    p_geo = sub.add_parser(
+        "geo", help="geo-replication campaign: DC-aware consistency "
+                    "levels under WAN faults and DC partitions")
+    p_geo.add_argument("--quick", action="store_true",
+                       help="small scale for fast runs (CI smoke)")
+    p_geo.add_argument("--mode", dest="modes", action="append",
+                       choices=sorted(GEO_CL_MODES),
+                       help="consistency mode(s) to compare (default: all)")
+    p_geo.add_argument("--scenario", dest="scenarios", action="append",
+                       choices=list(GEO_SCENARIOS),
+                       help="WAN scenario(s) to run (default: all)")
+    p_geo.add_argument("--strict", action="store_true",
+                       help="exit 1 on any violation the configured "
+                            "guarantee does not permit")
+    p_geo.add_argument("--report", metavar="PATH",
+                       help="also write the full JSON sweep to PATH")
+    p_geo.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="run campaign cells across N worker processes "
+                            "(0 = one per CPU core)")
+    p_geo.add_argument("--no-cache", action="store_true",
+                       help="recompute every cell instead of reusing "
+                            f"the cell cache ({default_cache_dir()})")
+    p_geo.set_defaults(func=cmd_geo)
 
     p_perf = sub.add_parser(
         "perf", help="kernel microbenchmarks + calibrated stress cell "

@@ -16,11 +16,13 @@ __all__ = [
     "AdaptiveConfig",
     "CassandraConfig",
     "ExperimentConfig",
+    "GeoConfig",
     "HBaseConfig",
     "TailDefenseConfig",
     "config_to_dict",
     "config_to_json",
     "default_check_config",
+    "default_geo_config",
     "default_micro_config",
     "default_stress_config",
 ]
@@ -75,6 +77,11 @@ class AdaptiveConfig:
     window_s: float = 0.5
     #: StepwisePolicy hysteresis: clean windows before decaying a level.
     decay_windows: int = 3
+    #: Geo deployments: per-region staleness budgets as ``(datacenter,
+    #: bound_s)`` pairs.  A run measured from a listed region steers by
+    #: its own bound (a far region may tolerate more staleness than the
+    #: write-home region); unlisted regions fall back to ``staleness_s``.
+    staleness_by_region: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -103,6 +110,66 @@ class CassandraConfig:
     #: replica stays stale for up to one interval, which is the window
     #: the adaptive-consistency campaigns study.
     hint_replay_interval_s: float = 1.0
+
+
+@dataclass(frozen=True)
+class GeoConfig:
+    """Multi-datacenter deployment description for one cell.
+
+    JSON-safe mirror of :class:`repro.cluster.geo.GeoSpec`: dict-like
+    fields are ``(key, value)`` pair tuples and the WAN latency matrix
+    is ``(dc_a, dc_b, one_way_s)`` triples, so the whole config hashes
+    into the cell-cache fingerprint unchanged.  Cassandra-only — the
+    geo campaign exercises per-DC replica placement and the DC-aware
+    consistency levels, which are Cassandra concepts.
+    """
+
+    #: ``(datacenter, server_count)`` pairs, in node-id order.
+    datacenters: tuple = (("eu-west", 3), ("us-west", 3),
+                          ("ap-southeast", 3))
+    #: Which datacenters host a client node (one per region, appended
+    #: after the servers in this order); runs pick their region via
+    #: ``RunSpec.client_dc``.
+    client_datacenters: tuple = ("eu-west", "us-west", "ap-southeast")
+    #: ``(datacenter, replicas)`` pairs (NetworkTopologyStrategy).
+    replication_per_dc: tuple = (("eu-west", 3), ("us-west", 3),
+                                 ("ap-southeast", 3))
+    #: One-way cross-DC latencies as ``(dc_a, dc_b, seconds)`` triples
+    #: (defaults mirror :data:`repro.cluster.geo.DEFAULT_REGION_RTTS`).
+    region_rtt_s: tuple = (("eu-west", "us-west", 0.075),
+                           ("eu-west", "ap-southeast", 0.090),
+                           ("us-west", "ap-southeast", 0.085))
+    #: Inter-DC usable bandwidth per flow (bytes/s).
+    wan_bandwidth_bps: float = 30e6
+
+    def __post_init__(self) -> None:
+        names = [dc for dc, _ in self.datacenters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate datacenters in {names}")
+        counts = dict(self.datacenters)
+        for dc in self.client_datacenters:
+            if dc not in counts:
+                raise ValueError(f"client datacenter {dc!r} is not a "
+                                 f"configured datacenter")
+        for dc, rf in self.replication_per_dc:
+            if dc not in counts:
+                raise ValueError(f"replication configured for unknown "
+                                 f"datacenter {dc!r}")
+            if rf > counts[dc]:
+                raise ValueError(f"datacenter {dc!r} has {counts[dc]} "
+                                 f"servers but replication {rf} requested")
+        covered = {frozenset({a, b}) for a, b, _ in self.region_rtt_s}
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                if frozenset({a, b}) not in covered:
+                    raise ValueError(f"no WAN latency configured between "
+                                     f"{a!r} and {b!r}")
+
+    @property
+    def total_nodes(self) -> int:
+        """Servers plus one client node per client datacenter."""
+        return (sum(count for _, count in self.datacenters)
+                + len(self.client_datacenters))
 
 
 @dataclass(frozen=True)
@@ -138,6 +205,10 @@ class ExperimentConfig:
     #: cell with fault injection enabled, so the same config can serve
     #: both a healthy baseline and a chaos campaign.
     faults: tuple[FaultSpec, ...] = ()
+    #: Multi-datacenter deployment (Cassandra only).  ``None`` = the
+    #: usual single-rack cluster.  When set, ``n_nodes`` must equal
+    #: ``geo.total_nodes`` so the cell fingerprint stays honest.
+    geo: Optional[GeoConfig] = None
 
     def __post_init__(self) -> None:
         if self.db not in ("hbase", "cassandra"):
@@ -146,6 +217,16 @@ class ExperimentConfig:
             raise ValueError("record_count and operation_count must be >= 1")
         if self.n_nodes < 2:
             raise ValueError("need at least one server node plus the client")
+        if self.geo is not None:
+            if self.db != "cassandra":
+                raise ValueError("geo deployments support Cassandra only "
+                                 "(per-DC placement and LOCAL_*/EACH_QUORUM "
+                                 "are Cassandra concepts)")
+            if self.n_nodes != self.geo.total_nodes:
+                raise ValueError(
+                    f"n_nodes={self.n_nodes} does not match the geo "
+                    f"layout's {self.geo.total_nodes} nodes "
+                    f"(servers + one client per client datacenter)")
 
     @property
     def replication(self) -> int:
@@ -270,6 +351,52 @@ def default_check_config(db: str,
             read_cl=read_cl, write_cl=write_cl,
             read_repair_chance=0.0 if no_repair else 0.1,
             blocking_read_repair=not no_repair),
+    )
+
+
+def default_geo_config(read_cl: ConsistencyLevel = ConsistencyLevel.LOCAL_QUORUM,
+                       write_cl: ConsistencyLevel = ConsistencyLevel.LOCAL_QUORUM,
+                       servers_per_dc: int = 3,
+                       replicas_per_dc: int = 3,
+                       record_count: int = 3_000,
+                       operation_count: int = 6_000,
+                       n_threads: int = 16,
+                       target_throughput: Optional[float] = 1_200.0,
+                       seed: int = 42,
+                       no_repair: bool = False,
+                       hint_replay_interval_s: float = 1.0,
+                       faults: tuple = ()) -> ExperimentConfig:
+    """One geo-replication cell: the default three regions (EU, US-West,
+    Singapore), ``servers_per_dc`` Cassandra servers and one client node
+    per region, NetworkTopologyStrategy with ``replicas_per_dc``.
+
+    ``no_repair`` disables read repair (and is typically paired with a
+    long ``hint_replay_interval_s``) so LOCAL_ONE's staleness window
+    stays open for the oracle to observe.
+    """
+    regions = ("eu-west", "us-west", "ap-southeast")
+    geo = GeoConfig(
+        datacenters=tuple((dc, servers_per_dc) for dc in regions),
+        client_datacenters=regions,
+        replication_per_dc=tuple((dc, replicas_per_dc) for dc in regions))
+    return ExperimentConfig(
+        db="cassandra",
+        workload=STRESS_WORKLOADS["read_update"],
+        record_count=record_count,
+        operation_count=operation_count,
+        n_threads=n_threads,
+        target_throughput=target_throughput,
+        n_nodes=geo.total_nodes,
+        seed=seed,
+        storage=scaled_stress_storage(record_count, 1000,
+                                      servers_per_dc * len(regions)),
+        cassandra=CassandraConfig(
+            read_cl=read_cl, write_cl=write_cl,
+            read_repair_chance=0.0 if no_repair else 0.1,
+            blocking_read_repair=not no_repair,
+            hint_replay_interval_s=hint_replay_interval_s),
+        geo=geo,
+        faults=tuple(faults),
     )
 
 

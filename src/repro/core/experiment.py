@@ -90,13 +90,37 @@ class ExperimentSession:
         self.config = config
         self.env = Environment()
         self.rngs = RngRegistry(config.seed)
-        self.cluster = Cluster(self.env, ClusterSpec(n_nodes=config.n_nodes),
-                               self.rngs)
-        self.client_node = self.cluster.node(config.n_nodes - 1)
+        if config.geo is not None:
+            from repro.cluster.geo import GeoCluster, GeoSpec
+            geo = config.geo
+            region_latency = {frozenset({a, b}): s
+                              for a, b, s in geo.region_rtt_s}
+            self.cluster = GeoCluster(self.env, GeoSpec(
+                datacenters=dict(geo.datacenters),
+                client_datacenter=geo.client_datacenters[0],
+                client_datacenters=tuple(geo.client_datacenters),
+                region_latency_s=region_latency,
+                wan_bandwidth_bps=geo.wan_bandwidth_bps), self.rngs)
+            self.client_node = self.cluster.client_in(
+                geo.client_datacenters[0])
+        else:
+            self.cluster = Cluster(self.env,
+                                   ClusterSpec(n_nodes=config.n_nodes),
+                                   self.rngs)
+            self.client_node = self.cluster.node(config.n_nodes - 1)
         self._loaded = False
         self.hbase: Optional[HBaseCluster] = None
         self.cassandra: Optional[CassandraCluster] = None
         self._session: Optional[CassandraSession] = None
+        #: Geo deployments: one driver session + binding per client
+        #: region, keyed by datacenter (``run_cell(client_dc=...)``
+        #: measures from that region's client node).
+        self._geo_sessions: dict[str, CassandraSession] = {}
+        self._geo_bindings: dict[str, DbBinding] = {}
+        #: Recorded (``check_consistency``) runs so far — namespaces each
+        #: run's write tags so values surviving in the store from an
+        #: earlier run can never alias a later run's op ids.
+        self._recorded_runs = 0
 
         tail = config.tail
         if config.db == "hbase":
@@ -129,12 +153,26 @@ class ExperimentSession:
                 handler_slots=tail.handler_slots,
                 max_handler_queue=tail.max_handler_queue,
                 coordinator_max_inflight=tail.max_inflight,
+                replication_per_dc=(dict(config.geo.replication_per_dc)
+                                    if config.geo is not None else None),
             ))
-            self._session = CassandraSession(
-                self.cassandra, self.client_node,
-                read_cl=cc.read_cl, write_cl=cc.write_cl,
-                deadline_s=tail.deadline_s)
-            self.binding = CassandraBinding(self._session)
+            if config.geo is not None:
+                for dc in config.geo.client_datacenters:
+                    session = CassandraSession(
+                        self.cassandra, self.cluster.client_in(dc),
+                        read_cl=cc.read_cl, write_cl=cc.write_cl,
+                        deadline_s=tail.deadline_s)
+                    self._geo_sessions[dc] = session
+                    self._geo_bindings[dc] = CassandraBinding(session)
+                home = config.geo.client_datacenters[0]
+                self._session = self._geo_sessions[home]
+                self.binding = self._geo_bindings[home]
+            else:
+                self._session = CassandraSession(
+                    self.cassandra, self.client_node,
+                    read_cl=cc.read_cl, write_cl=cc.write_cl,
+                    deadline_s=tail.deadline_s)
+                self.binding = CassandraBinding(self._session)
 
     @property
     def cassandra_session(self) -> CassandraSession:
@@ -169,6 +207,32 @@ class ExperimentSession:
         if self.config.settle_s > 0:
             self.env.run(until=self.env.now + self.config.settle_s)
 
+    def _drain_hints(self, max_wait_s: float = 30.0) -> None:
+        """Run the clock until hinted handoff has fully replayed.
+
+        A write acknowledged during a partition may only become a hint
+        when its replica RPC times out (the WAN in-flight window), so
+        the drain first waits out one replica timeout plus a replay
+        tick, then keeps running while any live coordinator still holds
+        hints for a live target.  Hints for still-dead targets do not
+        block (a dead replica is invisible to the convergence check
+        too); ``max_wait_s`` bounds the wait either way.
+        """
+        cassandra = self.cassandra
+        if cassandra is None:
+            return
+        env = self.env
+        spec = cassandra.spec
+        env.run(until=env.now + spec.replica_timeout_s
+                + spec.hint_replay_interval_s + 0.1)
+        deadline = env.now + max_wait_s
+        nodes = list(cassandra.nodes.values())
+        step = max(0.25, spec.hint_replay_interval_s / 2.0)
+        while env.now < deadline and any(
+                n.node.alive and n.hints.pending_for(self.cluster)
+                for n in nodes):
+            env.run(until=env.now + step)
+
     def warm(self, operations: Optional[int] = None,
              workload: Optional[WorkloadSpec] = None) -> None:
         """Run an unmeasured cache-warming mix (the paper's §6 cold-start
@@ -189,7 +253,8 @@ class ExperimentSession:
                  warmup_fraction: Optional[float] = 0.0,
                  inject_faults: bool = False,
                  check_consistency: bool = False,
-                 adaptive: Optional[str] = None) -> RunResult:
+                 adaptive: Optional[str] = None,
+                 client_dc: Optional[str] = None) -> RunResult:
         """Run one measured workload cell on the loaded deployment.
 
         With ``inject_faults`` the config's fault schedule is armed
@@ -210,38 +275,66 @@ class ExperimentSession:
         log, and the consistency report (when also checking) classifies
         the guarantee by the policy's *floor* CLs — the weakest it may
         issue — rather than whatever the last request happened to use.
+
+        On a geo deployment ``client_dc`` selects which region's client
+        node drives (and measures) the run; the default is the first
+        configured client datacenter.  Per-region sweeps run the same
+        cell once per region.
         """
         if not self._loaded:
             raise RuntimeError("call load() before run_cell()")
-        if (read_cl or write_cl) and self._session is None:
+        active_session = self._session
+        active_binding: DbBinding = self.binding
+        client_node = self.client_node
+        active_dc: Optional[str] = None
+        if self.config.geo is not None:
+            active_dc = client_dc or self.config.geo.client_datacenters[0]
+            if active_dc not in self._geo_sessions:
+                raise ValueError(
+                    f"no client in datacenter {active_dc!r}; configured: "
+                    f"{list(self._geo_sessions)}")
+            active_session = self._geo_sessions[active_dc]
+            active_binding = self._geo_bindings[active_dc]
+            client_node = self.cluster.client_in(active_dc)
+        elif client_dc is not None:
+            raise ValueError("client_dc requires a geo deployment")
+        if (read_cl or write_cl) and active_session is None:
             raise ValueError("consistency levels only apply to Cassandra")
-        if self._session is not None:
+        if active_session is not None:
             if read_cl is not None:
-                self._session.read_cl = read_cl
+                active_session.read_cl = read_cl
             if write_cl is not None:
-                self._session.write_cl = write_cl
+                active_session.write_cl = write_cl
         spec = workload or self.config.workload
         runtime_workload = self._new_workload(spec)
         recorder: Optional[HistoryRecorder] = None
-        binding: DbBinding = self.binding
+        binding: DbBinding = active_binding
         if check_consistency:
             read_cl_of = write_cl_of = None
-            if self._session is not None:
-                session = self._session
+            if active_session is not None:
+                session = active_session
                 read_cl_of = lambda: session.read_cl.value  # noqa: E731
                 write_cl_of = lambda: session.write_cl.value  # noqa: E731
-            recorder = HistoryRecorder(self.binding, self.env,
+            self._recorded_runs += 1
+            recorder = HistoryRecorder(active_binding, self.env,
                                        read_cl=read_cl_of,
-                                       write_cl=write_cl_of)
+                                       write_cl=write_cl_of,
+                                       tag_prefix=f"h{self._recorded_runs}.")
             binding = recorder
         controller: Optional[AdaptiveController] = None
         session_cls: Optional[tuple] = None
         if adaptive is not None:
-            if self._session is None or self.cassandra is None:
+            if active_session is None or self.cassandra is None:
                 raise ValueError(
                     "adaptive consistency control requires Cassandra")
             ac = self.config.adaptive
-            slo = SloSpec(p95_ms=ac.p95_ms, staleness_s=ac.staleness_s,
+            staleness = ac.staleness_s
+            if active_dc is not None:
+                # Per-region staleness budget: the run measured from this
+                # region steers by its own declared bound.
+                staleness = dict(ac.staleness_by_region).get(
+                    active_dc, ac.staleness_s)
+            slo = SloSpec(p95_ms=ac.p95_ms, staleness_s=staleness,
                           risk_rate=ac.risk_rate, window_s=ac.window_s)
             cassandra = self.cassandra
 
@@ -259,13 +352,13 @@ class ExperimentSession:
             # Outermost wrapper: the controller sets the session CL
             # *before* delegating, so the history recorder (inside)
             # records the CL each operation actually ran at.
-            controller = AdaptiveController(binding, self._session,
+            controller = AdaptiveController(binding, active_session,
                                             policy, monitor)
             binding = controller
-            session_cls = (self._session.read_cl, self._session.write_cl)
+            session_cls = (active_session.read_cl, active_session.write_cl)
         client = YcsbClient(self.env, binding, runtime_workload,
                             self.rngs.stream(f"client.run.{self.env.now}"),
-                            client_node=self.client_node)
+                            client_node=client_node)
         ops = operation_count or self.config.operation_count
         target = (target_throughput if target_throughput is not None
                   else self.config.target_throughput)
@@ -275,7 +368,7 @@ class ExperimentSession:
             injector = FailureInjector(self.cluster)
             injector.inject(FaultSchedule.from_specs(self.config.faults,
                                                      base_s=run_started))
-            probe = StalenessProbe(self.env, self.binding)
+            probe = StalenessProbe(self.env, active_binding)
             self.env.process(probe.run(), name="staleness-probe")
         meter = EnergyMeter(self.cluster.nodes)
         meter.start()
@@ -292,6 +385,11 @@ class ExperimentSession:
         if probe is not None:
             probe.stop()
         self._settle()
+        if recorder is not None and injector is not None:
+            # The convergence check needs a quiescent cluster; after a
+            # fault campaign that includes waiting out hinted handoff
+            # (see :meth:`_drain_hints`).
+            self._drain_hints()
         if injector is not None:
             # Built after settling so restarts/heals landing just past
             # the run's end still make it into the report.
@@ -307,10 +405,10 @@ class ExperimentSession:
             decisions["read_p99_ms"] = read_stats.p99_ms
             result = replace(result, decisions=decisions)
         if recorder is not None:
-            report_read_cl = (self._session.read_cl
-                              if self._session is not None else None)
-            report_write_cl = (self._session.write_cl
-                               if self._session is not None else None)
+            report_read_cl = (active_session.read_cl
+                              if active_session is not None else None)
+            report_write_cl = (active_session.write_cl
+                               if active_session is not None else None)
             if controller is not None:
                 # Classify the guarantee by the weakest CLs the policy may
                 # issue, not whatever the final request happened to use.
@@ -322,9 +420,10 @@ class ExperimentSession:
                 read_cl=report_read_cl,
                 write_cl=report_write_cl,
                 replication=self.config.replication,
-                cassandra=self.cassandra))
-        if session_cls is not None and self._session is not None:
-            self._session.read_cl, self._session.write_cl = session_cls
+                cassandra=self.cassandra,
+                client_dc=active_dc))
+        if session_cls is not None and active_session is not None:
+            active_session.read_cl, active_session.write_cl = session_cls
         return result
 
     def db_stats(self) -> dict:

@@ -143,7 +143,8 @@ def build_failover_report(
     probe:
         The run's staleness probe, if one was attached.
     """
-    heal_actions = ("restart", "heal", "nic_heal", "disk_heal")
+    heal_actions = ("restart", "heal", "nic_heal", "disk_heal",
+                    "dc_heal", "wan_heal")
     effective = [(t, n, a) for t, n, a in injector_log
                  if not a.endswith("-noop")]
     fault_times = [t for t, _, a in effective if a not in heal_actions]

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 __all__ = ["render_adaptive_sweep", "render_adaptive_timeline",
+           "render_geo_sweep",
            "render_check_report", "render_consistency_sweep",
            "render_failover_sweep", "render_failover_timeline",
            "render_micro_sweep", "render_progress", "render_series",
@@ -165,6 +166,42 @@ def render_tail_sweep(db: str, sweep: dict) -> str:
         headers, rows,
         title=f"Tail-latency defenses ({db}): "
               "latency distribution and error budget per defense stack")
+
+
+def render_geo_sweep(sweep: dict) -> str:
+    """Geo-replication table, one row per (CL mode, scenario, region).
+
+    ``sweep`` is :func:`repro.core.sweep.geo_sweep` output.  The table
+    answers the campaign's three questions region by region: did the
+    client keep serving (thr, errors), at what latency (p95/p99 — the
+    WAN round trip shows up here when the CL has to leave the region),
+    and what did correctness cost (unavailable = honest refusals, stale
+    = provable staleness findings, max lag, conv = divergence that
+    survived heal + hint replay — always a bug).
+    """
+    headers = ["CL mode", "scenario", "region", "thr", "p95 ms",
+               "p99 ms", "errors", "unavail", "stale", "max lag s",
+               "conv", "strong"]
+    rows = []
+    for mode in sweep:
+        for scenario, regions in sweep[mode].items():
+            for region, summary in regions.items():
+                cons = summary["consistency"]
+                by_kind = cons["violations_by_kind"]
+                unavailable = summary["errors_by_type"].get(
+                    "UnavailableError", 0)
+                rows.append([
+                    mode, scenario, region, summary["throughput"],
+                    summary["p95_ms"], summary["p99_ms"],
+                    summary["errors"], unavailable,
+                    by_kind.get("stale_read", 0),
+                    cons["max_staleness_lag_s"],
+                    by_kind.get("convergence", 0),
+                    "yes" if cons["strong"] else "no"])
+    return render_table(
+        headers, rows,
+        title="Geo-replication campaign (cassandra): availability, tail "
+              "latency, and staleness per client region under WAN faults")
 
 
 def render_check_report(db: str, sweep: dict) -> str:

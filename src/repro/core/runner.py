@@ -59,7 +59,9 @@ __all__ = [
 #: consistency reports gained ``max_staleness_lag_s``.
 #: "5": payloads carry a ``kernel`` record (processed event count) so
 #: regressions in simulation cost are visible in cached artifacts.
-RESULT_VERSION = "5"
+#: "6": geo campaigns — RunSpec gained ``client_dc``, consistency
+#: reports gained ``client_dc``, fault specs gained ``datacenter``.
+RESULT_VERSION = "6"
 
 #: Environment override for the cell-cache directory.
 CACHE_ENV_VAR = "REPRO_CELL_CACHE"
@@ -96,6 +98,9 @@ class RunSpec:
     #: request under the config's SLO and attach the decision log to the
     #: summary (``repro-bench adaptive``).  Cassandra only.
     adaptive: Optional[str] = None
+    #: Geo deployments: which region's client drives this run
+    #: (``repro-bench geo`` runs the same cell once per region).
+    client_dc: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -167,7 +172,8 @@ def execute_cell(spec: CellSpec) -> dict:
             write_cl=ConsistencyLevel(run.write_cl) if run.write_cl else None,
             inject_faults=run.faults,
             check_consistency=run.check,
-            adaptive=run.adaptive)
+            adaptive=run.adaptive,
+            client_dc=run.client_dc)
         if run.measured:
             runs.append(summarize_run(result))
     payload: dict = {"runs": runs}

@@ -37,6 +37,7 @@ from repro.core.config import (AdaptiveConfig,
                                CassandraConfig,
                                ExperimentConfig,
                                TailDefenseConfig,
+                               default_geo_config,
                                default_micro_config,
                                default_stress_config,
                                scaled_stress_storage)
@@ -52,10 +53,14 @@ __all__ = [
     "CheckScale",
     "FAILOVER_CL_MODES",
     "FailoverScale",
+    "GEO_CL_MODES",
+    "GEO_SCENARIOS",
+    "GeoScale",
     "MICRO_OP_ORDER",
     "QUICK_ADAPTIVE_SCALE",
     "QUICK_CHECK_SCALE",
     "QUICK_FAILOVER_SCALE",
+    "QUICK_GEO_SCALE",
     "QUICK_TAIL_SCALE",
     "STRESS_WORKLOAD_ORDER",
     "SweepScale",
@@ -69,6 +74,8 @@ __all__ = [
     "consistency_stress_sweep",
     "failover_cells",
     "failover_sweep",
+    "geo_cells",
+    "geo_sweep",
     "replication_micro_sweep",
     "replication_stress_sweep",
     "tail_cells",
@@ -713,4 +720,140 @@ def adaptive_sweep(policies: Sequence[str] = ADAPTIVE_POLICIES,
         out[cell.key] = {target: summary
                          for target, summary in zip(scale.targets,
                                                     payload["runs"])}
+    return out
+
+
+# -- Geo-replication campaigns: CL mode x WAN scenario x client region ------
+
+#: DC-aware consistency modes the geo campaign compares, as
+#: ``mode -> (read_cl, write_cl)`` value strings.  EACH_QUORUM is a
+#: write-only level (reading at it is a :class:`ValueError` by design),
+#: so that mode pairs it with LOCAL_QUORUM reads — the deployment the
+#: Cassandra docs actually recommend when writes must land in every
+#: region.
+GEO_CL_MODES = {
+    "LOCAL_ONE": ("LOCAL_ONE", "LOCAL_ONE"),
+    "LOCAL_QUORUM": ("LOCAL_QUORUM", "LOCAL_QUORUM"),
+    "EACH_QUORUM": ("LOCAL_QUORUM", "EACH_QUORUM"),
+    "QUORUM": ("QUORUM", "QUORUM"),
+}
+
+#: WAN scenarios: an untouched baseline, one region cut off (the
+#: partition heals inside the run, so hinted handoff and convergence
+#: are both exercised), and every cross-DC link stretched.
+GEO_SCENARIOS = ("healthy", "dc_partition", "wan_degrade")
+
+
+@dataclass(frozen=True)
+class GeoScale:
+    """Scale knobs for geo-replication campaigns.
+
+    Like :class:`FailoverScale`, the run is throttled well below peak so
+    availability loss is unambiguously the WAN fault's doing.  The fault
+    window ends inside the measured run: the remaining tail is the
+    healed period the convergence check judges.
+    """
+
+    record_count: int = 3_000
+    operation_count: int = 6_000
+    n_threads: int = 16
+    servers_per_dc: int = 3
+    replicas_per_dc: int = 3
+    target_throughput: float = 1_200.0
+    #: When the WAN fault fires, seconds after the measured run starts.
+    fault_at_s: float = 1.0
+    #: Partition / degradation window.
+    fault_duration_s: float = 2.0
+    #: wan_degrade: cross-DC latency + serialization multiplier.
+    wan_factor: float = 6.0
+    #: dc_partition: which region drops off the WAN.
+    partition_dc: str = "ap-southeast"
+    seed: int = 42
+
+
+#: Fast settings for tests, the CI geo smoke, and --quick campaigns.
+QUICK_GEO_SCALE = GeoScale(record_count=400, operation_count=800,
+                           n_threads=6, servers_per_dc=2,
+                           replicas_per_dc=2, target_throughput=600.0,
+                           fault_at_s=0.4, fault_duration_s=0.8)
+
+
+def _geo_fault(scenario: str, scale: GeoScale) -> tuple:
+    if scenario == "healthy":
+        return ()
+    if scenario == "dc_partition":
+        return (FaultSpec(kind="dc_partition",
+                          datacenter=scale.partition_dc,
+                          at_s=scale.fault_at_s,
+                          duration_s=scale.fault_duration_s),)
+    if scenario == "wan_degrade":
+        return (FaultSpec(kind="wan_degrade",
+                          at_s=scale.fault_at_s,
+                          duration_s=scale.fault_duration_s,
+                          severity=scale.wan_factor),)
+    raise ValueError(f"unknown geo scenario {scenario!r}; "
+                     f"choose from {GEO_SCENARIOS}")
+
+
+def geo_cells(modes: Optional[Sequence[str]] = None,
+              scenarios: Optional[Sequence[str]] = None,
+              scale: Optional[GeoScale] = None) -> list[CellSpec]:
+    """One cell per (CL mode, WAN scenario); each cell runs the same
+    workload once per client region (the region's client node drives the
+    load through its local coordinators)."""
+    scale = scale or GeoScale()
+    modes = tuple(modes or GEO_CL_MODES)
+    scenarios = tuple(scenarios or GEO_SCENARIOS)
+    cells = []
+    for mode in modes:
+        if mode not in GEO_CL_MODES:
+            raise ValueError(f"unknown geo CL mode {mode!r}; "
+                             f"choose from {tuple(GEO_CL_MODES)}")
+        read_cl, write_cl = GEO_CL_MODES[mode]
+        for scenario in scenarios:
+            config = default_geo_config(
+                servers_per_dc=scale.servers_per_dc,
+                replicas_per_dc=scale.replicas_per_dc,
+                record_count=scale.record_count,
+                operation_count=scale.operation_count,
+                n_threads=scale.n_threads,
+                target_throughput=scale.target_throughput,
+                seed=scale.seed,
+                faults=_geo_fault(scenario, scale))
+            regions = config.geo.client_datacenters
+            cells.append(CellSpec(
+                key=(mode, scenario),
+                label=f"geo/cassandra/{mode}/{scenario}",
+                config=config,
+                runs=tuple(RunSpec(workload="read_update",
+                                   target_throughput=scale.target_throughput,
+                                   read_cl=read_cl, write_cl=write_cl,
+                                   faults=scenario != "healthy",
+                                   check=True, client_dc=region)
+                           for region in regions),
+                warm=None))
+    return cells
+
+
+def geo_sweep(modes: Optional[Sequence[str]] = None,
+              scenarios: Optional[Sequence[str]] = None,
+              scale: Optional[GeoScale] = None,
+              runner: Optional[CellRunner] = None) -> dict:
+    """Geo-replication campaign: CL mode x WAN scenario x client region.
+
+    Returns ``{mode: {scenario: {region: summary}}}`` where each summary
+    is a :func:`~repro.core.experiment.summarize_run` dict whose
+    ``consistency`` entry carries the cross-DC oracle verdict (staleness
+    lag, convergence after heal, which guarantees held) and — for the
+    faulted scenarios — a ``failover`` availability report.
+    """
+    scale = scale or GeoScale()
+    cells = geo_cells(modes, scenarios, scale)
+    out: dict = {}
+    for cell, payload in zip(cells, _run(cells, runner)):
+        mode, scenario = cell.key
+        regions = cell.config.geo.client_datacenters
+        out.setdefault(mode, {})[scenario] = {
+            region: summary
+            for region, summary in zip(regions, payload["runs"])}
     return out

@@ -4,7 +4,8 @@ import pytest
 
 from repro.cluster.failure import (CrashEvent, CrashFault, DiskDegradeFault,
                                    FailureInjector, FaultSchedule, FaultSpec,
-                                   FlapFault, NicDegradeFault, PartitionFault)
+                                   FlapFault, NicDegradeFault, PartitionFault,
+                                   UnknownFaultTargetError)
 
 
 class TestFailureInjector:
@@ -157,3 +158,82 @@ class TestFaultSpec:
             base_s=0.0)
         with pytest.raises(ValueError, match="unknown node"):
             schedule.validate(len(small_cluster.nodes))  # 4 nodes: 3,4 bad
+
+
+class TestDcFaultValidation:
+    """Datacenter-scoped faults are rejected at construction / arm time
+    when they name targets the cluster does not have."""
+
+    def _geo_cluster(self):
+        from repro.cluster.geo import GeoCluster, GeoSpec
+        from repro.sim.kernel import Environment
+        from repro.sim.rng import RngRegistry
+        env = Environment()
+        return GeoCluster(env, GeoSpec(datacenters={"eu-west": 2,
+                                                    "us-west": 2},
+                                       client_datacenter="eu-west"),
+                          RngRegistry(3))
+
+    def test_dc_fault_spec_requires_a_datacenter(self):
+        with pytest.raises(ValueError, match="needs a datacenter"):
+            FaultSpec(kind="dc_partition")
+        with pytest.raises(ValueError, match="needs a datacenter"):
+            FaultSpec(kind="dc_slow_nic")
+
+    def test_dc_fault_on_single_rack_cluster_rejected(self, small_cluster):
+        injector = FailureInjector(small_cluster)
+        schedule = FaultSchedule.from_specs(
+            (FaultSpec(kind="dc_partition", datacenter="eu-west",
+                       at_s=1.0),))
+        with pytest.raises(UnknownFaultTargetError,
+                           match="no datacenters"):
+            injector.inject(schedule)
+        assert injector.log == []
+
+    def test_wan_fault_on_single_rack_cluster_rejected(self, small_cluster):
+        injector = FailureInjector(small_cluster)
+        schedule = FaultSchedule.from_specs(
+            (FaultSpec(kind="wan_degrade", at_s=1.0, severity=4.0),))
+        with pytest.raises(UnknownFaultTargetError,
+                           match="no datacenters"):
+            injector.inject(schedule)
+
+    def test_unknown_datacenter_rejected(self):
+        geo = self._geo_cluster()
+        injector = FailureInjector(geo)
+        schedule = FaultSchedule.from_specs(
+            (FaultSpec(kind="dc_partition", datacenter="mars-north",
+                       at_s=1.0),))
+        with pytest.raises(UnknownFaultTargetError,
+                           match="unknown datacenter 'mars-north'"):
+            injector.inject(schedule)
+        assert injector.log == []
+
+    def test_known_datacenter_accepted_and_fires(self):
+        geo = self._geo_cluster()
+        injector = FailureInjector(geo)
+        injector.inject(FaultSchedule.from_specs(
+            (FaultSpec(kind="dc_partition", datacenter="us-west",
+                       at_s=1.0, duration_s=2.0),)))
+        geo.env.run(until=2.0)
+        assert all(not geo.node(n).alive for n in geo.servers_in("us-west"))
+        assert all(geo.node(n).alive for n in geo.servers_in("eu-west"))
+        geo.env.run(until=4.0)
+        assert all(geo.node(n).alive for n in geo.servers_in("us-west"))
+
+    def test_unknown_node_rejected_with_named_error(self, small_cluster):
+        schedule = FaultSchedule.from_specs(
+            (FaultSpec(kind="crash", node_id=99, at_s=1.0),))
+        with pytest.raises(UnknownFaultTargetError, match="unknown node 99"):
+            schedule.validate(len(small_cluster.nodes))
+
+    def test_overlapping_dc_faults_rejected(self):
+        geo = self._geo_cluster()
+        injector = FailureInjector(geo)
+        schedule = FaultSchedule.from_specs(
+            (FaultSpec(kind="dc_partition", datacenter="us-west",
+                       at_s=1.0, duration_s=5.0),
+             FaultSpec(kind="dc_slow_nic", datacenter="us-west",
+                       at_s=3.0, duration_s=1.0)))
+        with pytest.raises(ValueError, match="overlapping"):
+            injector.inject(schedule)

@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cassandra.consistency import ConsistencyLevel
+from repro.cassandra.multidc import NetworkTopologyStrategy
 from repro.cassandra.partitioner import TokenRing
 from repro.keyspace import KEY_DOMAIN, key_for_token, token_of
 from repro.storage.bloom import BloomFilter
@@ -184,6 +185,103 @@ class TestRingOwnershipPartition:
                          rng=random.Random(seed))
         assert set(ring.replicas_for_token(token, n_nodes)) \
             == set(range(n_nodes))
+
+
+#: (nodes per DC, replicas per DC) for up to three datacenters — the
+#: replica count never exceeds the DC's node count, so every drawn
+#: topology is satisfiable.
+_dc_shapes = st.lists(
+    st.integers(min_value=1, max_value=5).flatmap(
+        lambda n: st.tuples(st.just(n), st.integers(min_value=1,
+                                                    max_value=n))),
+    min_size=1, max_size=3)
+
+
+def _build_topology(shapes, vnodes, seed):
+    """A NetworkTopologyStrategy over DCs ``dc0..dcN`` with node ids
+    assigned in blocks (dc0 gets 0..n0-1, dc1 the next block, ...)."""
+    node_datacenter: dict[int, str] = {}
+    replication_per_dc: dict[str, int] = {}
+    next_id = 0
+    for index, (n_nodes, rf) in enumerate(shapes):
+        dc = f"dc{index}"
+        replication_per_dc[dc] = rf
+        for _ in range(n_nodes):
+            node_datacenter[next_id] = dc
+            next_id += 1
+    ring = TokenRing(list(node_datacenter), vnodes=vnodes,
+                     rng=random.Random(seed))
+    return ring, NetworkTopologyStrategy(ring, node_datacenter,
+                                         replication_per_dc)
+
+
+class TestNetworkTopologyProperties:
+    """NetworkTopologyStrategy placement invariants, for any topology."""
+
+    @given(_dc_shapes, st.integers(min_value=1, max_value=8),
+           st.integers(),
+           st.integers(min_value=0, max_value=KEY_DOMAIN - 1))
+    @settings(max_examples=60)
+    def test_per_dc_counts_exact(self, shapes, vnodes, seed, token):
+        _, strategy = _build_topology(shapes, vnodes, seed)
+        replicas = strategy.replicas_for_key(key_for_token(token))
+        assert len(replicas) == len(set(replicas))
+        assert len(replicas) == strategy.total_replicas
+        for dc, rf in strategy.replication_per_dc.items():
+            assert len(strategy.replicas_in_dc(replicas, dc)) == rf
+
+    @given(_dc_shapes, st.integers(min_value=1, max_value=8),
+           st.integers(),
+           st.integers(min_value=0, max_value=KEY_DOMAIN - 1))
+    @settings(max_examples=60)
+    def test_replicas_in_dc_partitions_the_set(self, shapes, vnodes, seed,
+                                               token):
+        _, strategy = _build_topology(shapes, vnodes, seed)
+        replicas = strategy.replicas_for_key(key_for_token(token))
+        groups = [strategy.replicas_in_dc(replicas, dc)
+                  for dc in strategy.replication_per_dc]
+        flat = [r for group in groups for r in group]
+        assert sorted(flat) == sorted(replicas)
+        assert len(flat) == len(set(flat))
+
+    @given(_dc_shapes, st.integers(min_value=1, max_value=8),
+           st.integers(),
+           st.integers(min_value=0, max_value=KEY_DOMAIN - 1))
+    @settings(max_examples=60)
+    def test_matches_clockwise_walk(self, shapes, vnodes, seed, token):
+        """Reference model: the replicas are exactly the first distinct
+        nodes per DC met walking the ring clockwise from the key's
+        token (Cassandra's documented semantics) — which also makes the
+        placement stable under ring rotation: it depends only on the
+        owner sequence from the primary token, not where the walk is
+        phrased to start."""
+        ring, strategy = _build_topology(shapes, vnodes, seed)
+        key = key_for_token(token)
+        expected: list[int] = []
+        wanted = dict(strategy.replication_per_dc)
+        start = ring.primary_index(token_of(key))
+        size = len(ring._tokens)
+        for step in range(size):
+            owner = ring._owners[(start + step) % size]
+            if owner in expected:
+                continue
+            dc = strategy.node_datacenter[owner]
+            if wanted.get(dc, 0) > 0:
+                expected.append(owner)
+                wanted[dc] -= 1
+        assert strategy.replicas_for_key(key) == expected
+
+    @given(_dc_shapes, st.integers(min_value=1, max_value=8),
+           st.integers())
+    @settings(max_examples=30)
+    def test_local_quorum_arithmetic_is_per_dc(self, shapes, vnodes, seed):
+        """A DC's quorum is over its own RF only — the basis of
+        LOCAL_QUORUM's WAN-free latency claim."""
+        _, strategy = _build_topology(shapes, vnodes, seed)
+        for rf in strategy.replication_per_dc.values():
+            local_quorum = rf // 2 + 1
+            assert local_quorum <= rf
+            assert 2 * local_quorum > rf
 
 
 class TestConsistencyArithmetic:
