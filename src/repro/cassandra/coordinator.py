@@ -134,9 +134,15 @@ class Coordinator:
         #: replica that dies while the mutation is on the wire loses it
         #: silently, and over a WAN that in-flight window is tens of
         #: milliseconds of acknowledged writes (in-rack it is
-        #: microseconds, so the single-rack path skips the bookkeeping).
+        #: microseconds, so the plain single-rack path skips the
+        #: bookkeeping).  Bounded replica stages re-open the window
+        #: in-rack: a shed mutation (``Overloaded``) is a *common*
+        #: failure under overload, not a freak death, and real Cassandra
+        #: hints any replica that misses the write timeout — so the
+        #: bookkeeping is also on whenever mutations can be shed.
         self._hint_on_failure = bool(
-            getattr(owner.placement, "replication_per_dc", None))
+            getattr(owner.placement, "replication_per_dc", None)
+            or spec.max_handler_queue is not None)
 
     # -- plumbing --------------------------------------------------------
 
@@ -254,7 +260,7 @@ class Coordinator:
     def _arm_failure_hints(self, ordered: list[int], acks: list,
                            key: str, value, size: int,
                            timestamp: float) -> None:
-        """Store a hint for any remote mutation that ultimately fails.
+        """Store a hint for any replica mutation that ultimately fails.
 
         Covers the WAN in-flight window: a replica alive at fan-out time
         that dies before the mutation lands drops it without a trace,
@@ -264,11 +270,15 @@ class Coordinator:
         shed), long after the client ack — replay after heal then
         restores convergence.  Redelivery is safe: mutations are
         timestamped upserts.
+
+        The coordinator's *own* mutation is covered too: with a bounded
+        replica stage, the local apply can be shed while remote acks
+        satisfy the level — leaving the coordinator itself the stale
+        replica.  A self-targeted hint replays through the same loop
+        once the stage has room.
         """
-        owner = self.owner
-        store = owner.hints
+        store = self.owner.hints
         stats = self.stats
-        my_id = owner.node.node_id
 
         def arm(replica_id: int, proc) -> None:
             def on_settle(event) -> None:
@@ -285,8 +295,7 @@ class Coordinator:
                 proc.callbacks.append(on_settle)
 
         for replica_id, proc in zip(ordered, acks):
-            if replica_id != my_id:
-                arm(replica_id, proc)
+            arm(replica_id, proc)
 
     # -- write path -------------------------------------------------------
 

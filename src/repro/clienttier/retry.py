@@ -1,0 +1,142 @@
+"""Retries with exponential backoff, capped by a retry *budget*.
+
+The undefended client retries every failure — which is exactly how a
+10x flash crowd becomes a 40x one: each timed-out request respawns as
+several more while its original work may still be queued server-side
+(retry amplification, the engine of metastable failure).  The budget
+(Finagle's ``RetryBudget``) bounds the damage structurally: each first
+attempt deposits ``ratio`` tokens into a bucket, each retry withdraws
+one, so sustained retries can never exceed ``ratio`` x the request rate
+no matter how the store behaves.  A small constant trickle
+(``min_retries_per_s``) keeps isolated failures retryable even at low
+traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.clienttier.tokens import TokenBucket
+from repro.cluster.topology import DeadlineExceeded
+from repro.hbase.client import backoff_delay
+from repro.ycsb.db import DbBinding
+
+__all__ = ["RetryBinding", "RetryBudget"]
+
+
+class RetryBudget:
+    """Token-bucket cap on the client's retry rate.
+
+    ``ratio`` is the fraction of first attempts earned back as retry
+    permission (0.2 = at most ~20% extra load from retries);
+    ``min_retries_per_s`` is the unconditional trickle; ``burst`` caps
+    how much unused budget can accumulate.
+    """
+
+    def __init__(self, clock, ratio: float = 0.2,
+                 min_retries_per_s: float = 1.0, burst: float = 20.0) -> None:
+        if ratio < 0:
+            raise ValueError("ratio must be >= 0")
+        self.ratio = ratio
+        self._bucket = TokenBucket(rate=min_retries_per_s, burst=burst,
+                                   clock=clock)
+
+    def record_request(self) -> None:
+        """A first attempt was issued: earn ``ratio`` tokens."""
+        self._bucket.deposit(self.ratio)
+
+    def try_retry(self) -> bool:
+        """Withdraw permission for one retry; False = budget exhausted."""
+        return self._bucket.try_take(1.0)
+
+    @property
+    def denied(self) -> int:
+        return self._bucket.denied
+
+    @property
+    def granted(self) -> int:
+        return self._bucket.granted
+
+
+class RetryBinding:
+    """A :class:`~repro.ycsb.db.DbBinding` that retries failures.
+
+    Up to ``retries`` extra attempts per operation on ``retry_errors``,
+    each preceded by equal-jitter exponential backoff
+    (:func:`repro.hbase.client.backoff_delay` with the injected sim RNG
+    stream, so the schedule is deterministic per seed).  With
+    ``budget=None`` retries are uncapped — the naive client the surge
+    campaign's "undefended" mode measures; with a budget, a denied
+    withdrawal surfaces the *original* error immediately (counted in
+    ``budget_denied``), so accounting stays by true failure kind.
+    """
+
+    def __init__(self, inner: DbBinding, env, rng, retry_errors: tuple,
+                 retries: int = 3, backoff_s: float = 0.05,
+                 backoff_cap_s: float = 1.0,
+                 budget: Optional[RetryBudget] = None) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.inner = inner
+        self.env = env
+        self._rng = rng
+        self.retry_errors = retry_errors
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self.budget = budget
+        #: First attempts / extra attempts actually issued / retries the
+        #: budget refused / operations that failed after all attempts.
+        self.attempts = 0
+        self.retried = 0
+        self.budget_denied = 0
+        self.exhausted = 0
+
+    def _call(self, method, *args) -> Generator:
+        self.attempts += 1
+        if self.budget is not None:
+            self.budget.record_request()
+        for attempt in range(self.retries + 1):
+            try:
+                result = yield from method(*args)
+            except self.retry_errors as exc:
+                if isinstance(exc, DeadlineExceeded):
+                    # The op's end-to-end budget is spent; retrying
+                    # cannot help (the deadline covers all attempts).
+                    self.exhausted += 1
+                    raise
+                if attempt == self.retries:
+                    self.exhausted += 1
+                    raise
+                if self.budget is not None and not self.budget.try_retry():
+                    self.budget_denied += 1
+                    self.exhausted += 1
+                    raise
+                self.retried += 1
+                yield self.env.timeout(backoff_delay(
+                    self.backoff_s, attempt + 1, self.backoff_cap_s,
+                    self._rng))
+                continue
+            return result
+
+    def stats(self) -> dict:
+        return {"attempts": self.attempts, "retried": self.retried,
+                "budget_denied": self.budget_denied,
+                "exhausted": self.exhausted}
+
+    def insert(self, key: str, value, size: int) -> Generator:
+        result = yield from self._call(self.inner.insert, key, value, size)
+        return result
+
+    def update(self, key: str, value, size: int) -> Generator:
+        result = yield from self._call(self.inner.update, key, value, size)
+        return result
+
+    def read(self, key: str, size: int) -> Generator:
+        result = yield from self._call(self.inner.read, key, size)
+        return result
+
+    def scan(self, start_key: str, limit: int, record_bytes: int) -> Generator:
+        result = yield from self._call(self.inner.scan, start_key, limit,
+                                       record_bytes)
+        return result

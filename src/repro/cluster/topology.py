@@ -335,7 +335,13 @@ class Cluster:
 
         def _expire(_timer: Any, caller: Any = caller, body: Any = body) -> None:
             if caller._target is body:
-                caller.interrupt(_TIMED_OUT)
+                # Guarded delivery: with a propagated deadline the body
+                # can fail (server-side DeadlineExceeded) at the *same*
+                # timestamp this timer fires — the caller then moves on
+                # (e.g. into a retry backoff) before the urgent
+                # interrupt lands, and an unconditional interrupt would
+                # crash whatever it is doing now.
+                caller.interrupt(_TIMED_OUT, if_waiting_on=body)
 
         timer.callbacks.append(_expire)
         try:

@@ -6,6 +6,15 @@ Examples::
     repro-bench fig1 --db cassandra --quick
     repro-bench fig2 --quick
     repro-bench fig3
+    repro-bench surge --quick --db cassandra
+
+Subcommands register declaratively in :data:`CAMPAIGNS`: one
+:class:`Campaign` entry names the handler, the shared option groups it
+takes (``"quick"``, ``"jobs"``, ``"dbs"``, ...) and any campaign-specific
+:class:`Arg` specs — :func:`build_parser` materialises the whole table,
+and :func:`main` applies each campaign's post-parse defaults.  Adding a
+campaign is one ``cmd_*`` function plus one table entry; no subparser
+plumbing to copy.
 """
 
 from __future__ import annotations
@@ -13,7 +22,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
 
 from repro.cluster.failure import FAULT_KINDS
 from repro.core.report import (
@@ -27,6 +37,7 @@ from repro.core.report import (
     render_micro_sweep,
     render_progress,
     render_stress_sweep,
+    render_surge_sweep,
     render_table,
     render_tail_sweep,
 )
@@ -49,13 +60,17 @@ from repro.core.sweep import (
     QUICK_FAILOVER_SCALE,
     QUICK_GEO_SCALE,
     QUICK_SCALE,
+    QUICK_SURGE_SCALE,
     QUICK_TAIL_SCALE,
+    SURGE_MODES,
+    SURGE_SCENARIOS,
     TAIL_MODES,
     TAIL_SCENARIOS,
     AdaptiveScale,
     CheckScale,
     FailoverScale,
     GeoScale,
+    SurgeScale,
     SweepScale,
     TailScale,
     adaptive_sweep,
@@ -65,6 +80,7 @@ from repro.core.sweep import (
     geo_sweep,
     replication_micro_sweep,
     replication_stress_sweep,
+    surge_sweep,
     tail_sweep,
 )
 from repro.ycsb.workload import STRESS_WORKLOADS
@@ -92,6 +108,14 @@ def _runner(args) -> CellRunner:
 
     return CellRunner(jobs=args.jobs, cache=not args.no_cache,
                       progress=progress)
+
+
+def _write_report(args, payload: dict) -> None:
+    """Write the machine-readable sweep next to the rendered table."""
+    if getattr(args, "report", None):
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.report}", file=sys.stderr)
 
 
 def cmd_table1(_args) -> int:
@@ -182,10 +206,7 @@ def cmd_check(args) -> int:
         unexpected += sweep["unexpected_violations"]
         print(render_check_report(db, sweep))
         print()
-    if args.report:
-        with open(args.report, "w", encoding="utf-8") as fh:
-            json.dump(sweeps, fh, indent=2, sort_keys=True)
-        print(f"wrote {args.report}", file=sys.stderr)
+    _write_report(args, sweeps)
     if args.strict and unexpected:
         print(f"FAIL: {unexpected} unexpected violation(s)", file=sys.stderr)
         return 1
@@ -213,10 +234,7 @@ def cmd_adaptive(args) -> int:
             for target, summary in sweep[policy].items():
                 print(f"digest {policy} target={target:g} "
                       f"{summary['decisions']['digest']}")
-    if args.report:
-        with open(args.report, "w", encoding="utf-8") as fh:
-            json.dump(sweep, fh, indent=2, sort_keys=True)
-        print(f"wrote {args.report}", file=sys.stderr)
+    _write_report(args, sweep)
     return 0
 
 
@@ -240,10 +258,44 @@ def cmd_geo(args) -> int:
                     print(f"unexpected violations: {mode}/{scenario}"
                           f"/{region}: {count}", file=sys.stderr)
                 unexpected += count
-    if args.report:
-        with open(args.report, "w", encoding="utf-8") as fh:
-            json.dump(sweep, fh, indent=2, sort_keys=True)
-        print(f"wrote {args.report}", file=sys.stderr)
+    _write_report(args, sweep)
+    if args.strict and unexpected:
+        print(f"FAIL: {unexpected} unexpected violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_surge(args) -> int:
+    """Flash-crowd survival campaign: open-loop arrivals x client-tier
+    defense stacks, composed with the PR-3 server-side tail defenses.
+    Cassandra cells run with the consistency oracle recording outside
+    the cache-aside tier; ``--strict`` fails the process if any cell
+    shows violations the weak CL does not already permit (i.e.
+    convergence gaps — staleness bounded by the cache TTL is the
+    campaign's *measured* trade, not a failure)."""
+    from repro.consistency.oracle import unexpected_violations
+    scale = QUICK_SURGE_SCALE if args.quick else SurgeScale()
+    modes = args.modes or list(SURGE_MODES)
+    scenarios = args.scenarios or list(SURGE_SCENARIOS)
+    sweeps: dict = {}
+    unexpected = 0
+    for db in args.dbs:
+        sweep = surge_sweep(db, scale, modes=modes, scenarios=scenarios,
+                            runner=_runner(args))
+        sweeps[db] = sweep
+        print(render_surge_sweep(db, sweep))
+        print()
+        for scenario in sweep:
+            for mode, summary in sweep[scenario].items():
+                cons = summary.get("consistency")
+                if cons is None:
+                    continue
+                count = unexpected_violations(cons)
+                if count:
+                    print(f"unexpected violations: {db}/{scenario}"
+                          f"/{mode}: {count}", file=sys.stderr)
+                unexpected += count
+    _write_report(args, sweeps)
     if args.strict and unexpected:
         print(f"FAIL: {unexpected} unexpected violation(s)", file=sys.stderr)
         return 1
@@ -288,194 +340,221 @@ def cmd_perf(args) -> int:
     return 0
 
 
+# -- campaign registry -------------------------------------------------------
+
+@dataclass(frozen=True)
+class Arg:
+    """One ``add_argument`` call, declaratively."""
+
+    flags: tuple
+    kwargs: dict
+
+
+def _opt(*flags: str, **kwargs) -> Arg:
+    return Arg(flags, kwargs)
+
+
+#: Option groups shared across campaigns, by name.  A campaign lists the
+#: group names it takes; campaign-specific options go in ``extra``.
+COMMON_OPTIONS: dict[str, Arg] = {
+    "quick": _opt("--quick", action="store_true",
+                  help="small scale for fast runs"),
+    "jobs": _opt("--jobs", type=int, default=1, metavar="N",
+                 help="run campaign cells across N worker processes "
+                      "(0 = one per CPU core; default 1 = serial)"),
+    "no_cache": _opt("--no-cache", action="store_true",
+                     help="recompute every cell instead of reusing the "
+                          f"cell cache ({default_cache_dir()})"),
+    "dbs": _opt("--db", dest="dbs", action="append",
+                choices=["hbase", "cassandra"],
+                help="database(s) to run (default: both)"),
+    "strict": _opt("--strict", action="store_true",
+                   help="exit 1 on any violation the configured "
+                        "guarantee does not permit"),
+    "report": _opt("--report", metavar="PATH",
+                   help="also write the full JSON sweep to PATH"),
+}
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """One ``repro-bench`` subcommand, declaratively.
+
+    ``options`` names entries of :data:`COMMON_OPTIONS`; ``extra`` holds
+    campaign-specific :class:`Arg` specs; ``post_parse`` (if set) runs in
+    :func:`main` after parsing to fill context-dependent defaults (e.g.
+    "no ``--db`` means both databases").
+    """
+
+    name: str
+    help: str
+    func: Callable
+    options: tuple = ()
+    extra: tuple = ()
+    post_parse: Optional[Callable] = None
+
+
+def _default_dbs(args) -> None:
+    if args.dbs is None:
+        args.dbs = ["hbase", "cassandra"]
+
+
+def _default_faults(args) -> None:
+    _default_dbs(args)
+    if args.faults is None:
+        args.faults = ["crash"]
+
+
+_FIG_OPTIONS = ("quick", "jobs", "no_cache")
+_FIG_EXTRA = (_opt("--max-rf", type=int, default=6,
+                   help="sweep replication factors 1..N (default 6)"),)
+
+CAMPAIGNS: tuple[Campaign, ...] = (
+    Campaign("table1", "print Table 1", cmd_table1),
+    Campaign("fig1", "micro benchmark for replication", cmd_fig1,
+             options=_FIG_OPTIONS + ("dbs",), extra=_FIG_EXTRA,
+             post_parse=_default_dbs),
+    Campaign("fig2", "stress benchmark for replication", cmd_fig2,
+             options=_FIG_OPTIONS + ("dbs",), extra=_FIG_EXTRA,
+             post_parse=_default_dbs),
+    Campaign("fig3", "stress benchmark for consistency", cmd_fig3,
+             options=_FIG_OPTIONS, extra=_FIG_EXTRA),
+    Campaign("failover",
+             "fault-injection campaign (availability report)",
+             cmd_failover, options=("quick", "dbs", "jobs", "no_cache"),
+             extra=(
+                 _opt("--fault", dest="faults", action="append",
+                      choices=list(FAULT_KINDS),
+                      help="fault kind(s) to inject (default: crash)"),
+                 _opt("--timeline", action="store_true",
+                      help="print per-second timelines with injection "
+                           "markers"),
+             ),
+             post_parse=_default_faults),
+    Campaign("tail",
+             "tail-latency defense campaign (deadlines, hedged reads, "
+             "bounded queues)",
+             cmd_tail, options=("quick", "dbs", "jobs", "no_cache"),
+             extra=(
+                 _opt("--mode", dest="modes", action="append",
+                      choices=list(TAIL_MODES),
+                      help="defense stack(s) to compare (default: all)"),
+                 _opt("--scenario", dest="scenarios", action="append",
+                      choices=list(TAIL_SCENARIOS) + ["healthy"],
+                      help="stress scenario(s) to run (default: both "
+                           "stress scenarios; 'healthy' adds the "
+                           "fault-free control cell)"),
+             ),
+             post_parse=_default_dbs),
+    Campaign("check",
+             "consistency oracle: explore seeds x fault schedules and "
+             "verify the configured guarantees",
+             cmd_check,
+             options=("quick", "dbs", "strict", "report", "jobs",
+                      "no_cache"),
+             extra=(
+                 _opt("--cl", default="QUORUM",
+                      choices=sorted(CHECK_CL_MODES),
+                      help="Cassandra consistency round (default QUORUM; "
+                           "ignored for HBase)"),
+                 _opt("--seeds", type=int, default=25, metavar="N",
+                      help="explore seeds 0..N-1 (default 25)"),
+                 _opt("--fault", choices=list(FAULT_KINDS),
+                      help="fault-schedule template to inject per seed "
+                           "(default: healthy runs)"),
+                 _opt("--no-repair", action="store_true",
+                      help="disable read repair so weak-CL staleness "
+                           "stays observable"),
+             ),
+             post_parse=_default_dbs),
+    Campaign("adaptive",
+             "adaptive-consistency campaign: per-request CL policies "
+             "under a latency/staleness SLO",
+             cmd_adaptive, options=("quick", "report", "jobs", "no_cache"),
+             extra=(
+                 _opt("--policy", dest="policies", action="append",
+                      choices=list(ADAPTIVE_POLICIES),
+                      help="policy/policies to run (default: all)"),
+                 _opt("--timeline", action="store_true",
+                      help="print per-window CL decision timelines next "
+                           "to the latency windows"),
+                 _opt("--digests", action="store_true",
+                      help="print each run's decision-log digest (the "
+                           "determinism witness)"),
+             )),
+    Campaign("geo",
+             "geo-replication campaign: DC-aware consistency levels "
+             "under WAN faults and DC partitions",
+             cmd_geo, options=("quick", "strict", "report", "jobs",
+                               "no_cache"),
+             extra=(
+                 _opt("--mode", dest="modes", action="append",
+                      choices=sorted(GEO_CL_MODES),
+                      help="consistency mode(s) to compare "
+                           "(default: all)"),
+                 _opt("--scenario", dest="scenarios", action="append",
+                      choices=list(GEO_SCENARIOS),
+                      help="WAN scenario(s) to run (default: all)"),
+             )),
+    Campaign("surge",
+             "flash-crowd survival campaign: open-loop arrivals vs "
+             "client-tier defense stacks",
+             cmd_surge,
+             options=("quick", "dbs", "strict", "report", "jobs",
+                      "no_cache"),
+             extra=(
+                 _opt("--mode", dest="modes", action="append",
+                      choices=list(SURGE_MODES),
+                      help="defense stack(s) to compare (default: all)"),
+                 _opt("--scenario", dest="scenarios", action="append",
+                      choices=list(SURGE_SCENARIOS),
+                      help="arrival scenario(s) to run (default: all)"),
+             ),
+             post_parse=_default_dbs),
+    Campaign("perf",
+             "kernel microbenchmarks + calibrated stress cell (the perf "
+             "trajectory artifact)",
+             cmd_perf, options=("quick",),
+             extra=(
+                 _opt("--out", metavar="PATH", default="BENCH_perf.json",
+                      help="write the JSON report to PATH (default "
+                           "BENCH_perf.json; '' disables)"),
+                 _opt("--baseline", metavar="PATH",
+                      help="compare against a baseline BENCH_perf.json "
+                           "and exit 1 on regression"),
+                 _opt("--max-regression", type=float, default=0.25,
+                      metavar="FRAC",
+                      help="tolerated fractional throughput drop vs the "
+                           "baseline (default 0.25)"),
+                 _opt("--profile", action="store_true",
+                      help="also cProfile the stress cell and print the "
+                           "hottest functions"),
+             )),
+)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the paper's tables and figures")
     sub = parser.add_subparsers(dest="command", required=True)
-
-    p_table1 = sub.add_parser("table1", help="print Table 1")
-    p_table1.set_defaults(func=cmd_table1)
-
-    for name, func, help_text in [
-        ("fig1", cmd_fig1, "micro benchmark for replication"),
-        ("fig2", cmd_fig2, "stress benchmark for replication"),
-        ("fig3", cmd_fig3, "stress benchmark for consistency"),
-    ]:
-        p = sub.add_parser(name, help=help_text)
-        p.add_argument("--quick", action="store_true",
-                       help="small scale for fast runs")
-        p.add_argument("--max-rf", type=int, default=6,
-                       help="sweep replication factors 1..N (default 6)")
-        p.add_argument("--jobs", type=int, default=1, metavar="N",
-                       help="run sweep cells across N worker processes "
-                            "(0 = one per CPU core; default 1 = serial)")
-        p.add_argument("--no-cache", action="store_true",
-                       help="recompute every cell instead of reusing the "
-                            f"cell cache ({default_cache_dir()})")
-        if name in ("fig1", "fig2"):
-            p.add_argument("--db", dest="dbs", action="append",
-                           choices=["hbase", "cassandra"],
-                           help="database(s) to run (default: both)")
-        p.set_defaults(func=func)
-
-    p_failover = sub.add_parser(
-        "failover", help="fault-injection campaign (availability report)")
-    p_failover.add_argument("--quick", action="store_true",
-                            help="small scale for fast runs")
-    p_failover.add_argument("--db", dest="dbs", action="append",
-                            choices=["hbase", "cassandra"],
-                            help="database(s) to run (default: both)")
-    p_failover.add_argument("--fault", dest="faults", action="append",
-                            choices=list(FAULT_KINDS),
-                            help="fault kind(s) to inject (default: crash)")
-    p_failover.add_argument("--timeline", action="store_true",
-                            help="print per-second timelines with "
-                                 "injection markers")
-    p_failover.add_argument("--jobs", type=int, default=1, metavar="N",
-                            help="run campaign cells across N worker "
-                                 "processes (0 = one per CPU core)")
-    p_failover.add_argument("--no-cache", action="store_true",
-                            help="recompute every cell instead of reusing "
-                                 f"the cell cache ({default_cache_dir()})")
-    p_failover.set_defaults(func=cmd_failover)
-
-    p_tail = sub.add_parser(
-        "tail", help="tail-latency defense campaign (deadlines, hedged "
-                     "reads, bounded queues)")
-    p_tail.add_argument("--quick", action="store_true",
-                        help="small scale for fast runs")
-    p_tail.add_argument("--db", dest="dbs", action="append",
-                        choices=["hbase", "cassandra"],
-                        help="database(s) to run (default: both)")
-    p_tail.add_argument("--mode", dest="modes", action="append",
-                        choices=list(TAIL_MODES),
-                        help="defense stack(s) to compare (default: all)")
-    p_tail.add_argument("--scenario", dest="scenarios", action="append",
-                        choices=list(TAIL_SCENARIOS) + ["healthy"],
-                        help="stress scenario(s) to run (default: both "
-                             "stress scenarios; 'healthy' adds the "
-                             "fault-free control cell)")
-    p_tail.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="run campaign cells across N worker processes "
-                             "(0 = one per CPU core)")
-    p_tail.add_argument("--no-cache", action="store_true",
-                        help="recompute every cell instead of reusing "
-                             f"the cell cache ({default_cache_dir()})")
-    p_tail.set_defaults(func=cmd_tail)
-
-    p_check = sub.add_parser(
-        "check", help="consistency oracle: explore seeds x fault "
-                      "schedules and verify the configured guarantees")
-    p_check.add_argument("--quick", action="store_true",
-                         help="small scale for fast runs (CI smoke)")
-    p_check.add_argument("--db", dest="dbs", action="append",
-                         choices=["hbase", "cassandra"],
-                         help="database(s) to check (default: both)")
-    p_check.add_argument("--cl", default="QUORUM",
-                         choices=sorted(CHECK_CL_MODES),
-                         help="Cassandra consistency round (default QUORUM; "
-                              "ignored for HBase)")
-    p_check.add_argument("--seeds", type=int, default=25, metavar="N",
-                         help="explore seeds 0..N-1 (default 25)")
-    p_check.add_argument("--fault", choices=list(FAULT_KINDS),
-                         help="fault-schedule template to inject per seed "
-                              "(default: healthy runs)")
-    p_check.add_argument("--no-repair", action="store_true",
-                         help="disable read repair so weak-CL staleness "
-                              "stays observable")
-    p_check.add_argument("--strict", action="store_true",
-                         help="exit 1 on any violation the configured "
-                              "guarantee does not permit")
-    p_check.add_argument("--report", metavar="PATH",
-                         help="also write the full JSON verdict to PATH")
-    p_check.add_argument("--jobs", type=int, default=1, metavar="N",
-                         help="run check cells across N worker processes "
-                              "(0 = one per CPU core)")
-    p_check.add_argument("--no-cache", action="store_true",
-                         help="recompute every cell instead of reusing "
-                              f"the cell cache ({default_cache_dir()})")
-    p_check.set_defaults(func=cmd_check)
-
-    p_adaptive = sub.add_parser(
-        "adaptive", help="adaptive-consistency campaign: per-request CL "
-                         "policies under a latency/staleness SLO")
-    p_adaptive.add_argument("--quick", action="store_true",
-                            help="single calibrated load point (CI smoke)")
-    p_adaptive.add_argument("--policy", dest="policies", action="append",
-                            choices=list(ADAPTIVE_POLICIES),
-                            help="policy/policies to run (default: all)")
-    p_adaptive.add_argument("--timeline", action="store_true",
-                            help="print per-window CL decision timelines "
-                                 "next to the latency windows")
-    p_adaptive.add_argument("--digests", action="store_true",
-                            help="print each run's decision-log digest "
-                                 "(the determinism witness)")
-    p_adaptive.add_argument("--report", metavar="PATH",
-                            help="also write the full JSON sweep to PATH")
-    p_adaptive.add_argument("--jobs", type=int, default=1, metavar="N",
-                            help="run campaign cells across N worker "
-                                 "processes (0 = one per CPU core)")
-    p_adaptive.add_argument("--no-cache", action="store_true",
-                            help="recompute every cell instead of reusing "
-                                 f"the cell cache ({default_cache_dir()})")
-    p_adaptive.set_defaults(func=cmd_adaptive)
-
-    p_geo = sub.add_parser(
-        "geo", help="geo-replication campaign: DC-aware consistency "
-                    "levels under WAN faults and DC partitions")
-    p_geo.add_argument("--quick", action="store_true",
-                       help="small scale for fast runs (CI smoke)")
-    p_geo.add_argument("--mode", dest="modes", action="append",
-                       choices=sorted(GEO_CL_MODES),
-                       help="consistency mode(s) to compare (default: all)")
-    p_geo.add_argument("--scenario", dest="scenarios", action="append",
-                       choices=list(GEO_SCENARIOS),
-                       help="WAN scenario(s) to run (default: all)")
-    p_geo.add_argument("--strict", action="store_true",
-                       help="exit 1 on any violation the configured "
-                            "guarantee does not permit")
-    p_geo.add_argument("--report", metavar="PATH",
-                       help="also write the full JSON sweep to PATH")
-    p_geo.add_argument("--jobs", type=int, default=1, metavar="N",
-                       help="run campaign cells across N worker processes "
-                            "(0 = one per CPU core)")
-    p_geo.add_argument("--no-cache", action="store_true",
-                       help="recompute every cell instead of reusing "
-                            f"the cell cache ({default_cache_dir()})")
-    p_geo.set_defaults(func=cmd_geo)
-
-    p_perf = sub.add_parser(
-        "perf", help="kernel microbenchmarks + calibrated stress cell "
-                     "(the perf trajectory artifact)")
-    p_perf.add_argument("--quick", action="store_true",
-                        help="small iteration counts (CI smoke)")
-    p_perf.add_argument("--out", metavar="PATH", default="BENCH_perf.json",
-                        help="write the JSON report to PATH "
-                             "(default BENCH_perf.json; '' disables)")
-    p_perf.add_argument("--baseline", metavar="PATH",
-                        help="compare against a baseline BENCH_perf.json "
-                             "and exit 1 on regression")
-    p_perf.add_argument("--max-regression", type=float, default=0.25,
-                        metavar="FRAC",
-                        help="tolerated fractional throughput drop vs the "
-                             "baseline (default 0.25)")
-    p_perf.add_argument("--profile", action="store_true",
-                        help="also cProfile the stress cell and print the "
-                             "hottest functions")
-    p_perf.set_defaults(func=cmd_perf)
+    for campaign in CAMPAIGNS:
+        p = sub.add_parser(campaign.name, help=campaign.help)
+        for option in campaign.options:
+            spec = COMMON_OPTIONS[option]
+            p.add_argument(*spec.flags, **spec.kwargs)
+        for spec in campaign.extra:
+            p.add_argument(*spec.flags, **spec.kwargs)
+        p.set_defaults(func=campaign.func)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if (getattr(args, "dbs", None) is None
-            and args.command in ("fig1", "fig2", "failover", "tail",
-                                 "check")):
-        args.dbs = ["hbase", "cassandra"]
-    if getattr(args, "faults", None) is None and args.command == "failover":
-        args.faults = ["crash"]
+    for campaign in CAMPAIGNS:
+        if campaign.name == args.command and campaign.post_parse is not None:
+            campaign.post_parse(args)
     return args.func(args)
 
 

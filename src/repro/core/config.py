@@ -14,7 +14,9 @@ from repro.ycsb.workload import MICRO_WORKLOADS, STRESS_WORKLOADS, WorkloadSpec
 
 __all__ = [
     "AdaptiveConfig",
+    "ArrivalConfig",
     "CassandraConfig",
+    "ClientTierConfig",
     "ExperimentConfig",
     "GeoConfig",
     "HBaseConfig",
@@ -25,6 +27,7 @@ __all__ = [
     "default_geo_config",
     "default_micro_config",
     "default_stress_config",
+    "default_surge_config",
 ]
 
 
@@ -53,6 +56,81 @@ class TailDefenseConfig:
     #: Coordinator admission control (Cassandra): max in-flight
     #: coordinated ops per node.  ``None`` = unlimited.
     max_inflight: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ClientTierConfig:
+    """Resilient client-tier knobs (see :mod:`repro.clienttier`).
+
+    The all-defaults instance is inert: no retries, no breaker, no rate
+    limiter, no leveler, no cache — the raw driver behaviour every
+    closed-loop sweep keeps.  Only consulted when a run goes through
+    the open-loop client (:attr:`repro.core.runner.RunSpec.open_loop`).
+    """
+
+    #: Extra client-tier attempts per operation (0 = the tier's retry
+    #: layer is off; the drivers' own internal retries still apply).
+    retries: int = 0
+    retry_backoff_s: float = 0.05
+    retry_backoff_cap_s: float = 1.0
+    #: Retry-budget earn ratio (Finagle-style): each first attempt earns
+    #: this fraction of a retry token.  ``None`` = uncapped retries —
+    #: the naive client whose amplification the surge campaign measures.
+    retry_budget_ratio: Optional[float] = None
+    retry_budget_min_per_s: float = 1.0
+    retry_budget_burst: float = 20.0
+    #: Circuit breaker trip threshold (failure fraction in the sliding
+    #: window).  ``None`` = no breaker.
+    breaker_failure_rate: Optional[float] = None
+    breaker_window_s: float = 1.0
+    breaker_min_volume: int = 10
+    breaker_cooldown_s: float = 1.0
+    breaker_half_open_probes: int = 3
+    #: Per-tenant admission rate (requests/s).  ``None`` = no limiter.
+    rate_limit_per_tenant: Optional[float] = None
+    rate_limit_burst: float = 10.0
+    #: Fixed worker-pool size for queue-based load leveling.  ``None`` =
+    #: spawn one in-flight operation per arrival (unbounded concurrency).
+    leveling_workers: Optional[int] = None
+    leveling_queue: int = 64
+    #: Cache-aside read-cache TTL (the declared staleness budget the
+    #: oracle prices).  ``None`` = no cache.
+    cache_ttl_s: Optional[float] = None
+    cache_capacity: int = 1024
+    #: Override the driver's per-operation timeout (both engines) so an
+    #: overloaded store fails fast enough for client-side defenses to
+    #: react within a short campaign.  ``None`` = driver defaults.
+    op_timeout_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ArrivalConfig:
+    """Open-loop arrival stream for one measured run
+    (see :mod:`repro.ycsb.arrivals`)."""
+
+    #: "poisson", "diurnal" or "flash_crowd".
+    process: str = "poisson"
+    #: Steady (base) arrival rate, requests/s.
+    rate: float = 1_000.0
+    #: How many arrivals one measured run dispatches.
+    max_arrivals: int = 10_000
+    #: Simulated-user population behind the arrivals (zipf-skewed).
+    n_users: int = 100_000
+    #: Tenants the users map onto (the rate limiter's metering unit).
+    n_tenants: int = 8
+    # Diurnal shape.
+    period_s: float = 60.0
+    peak_factor: float = 2.0
+    # Flash-crowd shape.
+    spike_at_s: float = 5.0
+    spike_factor: float = 10.0
+    spike_duration_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.process not in ("poisson", "diurnal", "flash_crowd"):
+            raise ValueError(f"unknown arrival process {self.process!r}")
+        if self.rate <= 0 or self.max_arrivals < 1:
+            raise ValueError("rate must be positive, max_arrivals >= 1")
 
 
 @dataclass(frozen=True)
@@ -200,6 +278,13 @@ class ExperimentConfig:
     #: Adaptive-consistency SLO (only consulted when a run names a
     #: policy via ``RunSpec.adaptive``).
     adaptive: AdaptiveConfig = field(default_factory=AdaptiveConfig)
+    #: Resilient client tier (breaker / retry budget / rate limiter /
+    #: leveling / cache-aside); inert by default, consulted by open-loop
+    #: runs (``RunSpec.open_loop``).
+    clienttier: ClientTierConfig = field(default_factory=ClientTierConfig)
+    #: Open-loop arrival stream for ``RunSpec.open_loop`` runs.  ``None``
+    #: means the cell is closed-loop only.
+    arrivals: Optional[ArrivalConfig] = None
     #: Declarative fault schedule for this cell (``at_s`` relative to the
     #: start of each measured run).  Only armed when the caller runs the
     #: cell with fault injection enabled, so the same config can serve
@@ -397,6 +482,42 @@ def default_geo_config(read_cl: ConsistencyLevel = ConsistencyLevel.LOCAL_QUORUM
             hint_replay_interval_s=hint_replay_interval_s),
         geo=geo,
         faults=tuple(faults),
+    )
+
+
+def default_surge_config(db: str,
+                         arrivals: Optional[ArrivalConfig] = None,
+                         clienttier: Optional[ClientTierConfig] = None,
+                         record_count: int = 4_000,
+                         n_nodes: int = 8,
+                         seed: int = 42) -> ExperimentConfig:
+    """One flash-crowd survival cell (``repro-bench surge``).
+
+    A read-mostly zipfian mix (the profile a cache-aside tier can help)
+    on a small cluster, with the server block cache squeezed far below
+    the tail campaign's: even much of the zipfian hot set misses to
+    disk, so the cluster has a hard, low service ceiling for a flash
+    crowd to collapse onto — and a client-side cache something real to
+    absorb.  ``operation_count`` only sizes the closed-loop warm-up;
+    measured runs draw their length from ``arrivals.max_arrivals``.
+    """
+    arrivals = arrivals or ArrivalConfig()
+    data = record_count * 1000
+    per_tree = data * 3 // max(1, n_nodes - 1)
+    return ExperimentConfig(
+        db=db,
+        workload=STRESS_WORKLOADS["read_mostly"],
+        record_count=record_count,
+        operation_count=max(1_000, arrivals.max_arrivals // 4),
+        n_threads=16,
+        n_nodes=n_nodes,
+        seed=seed,
+        storage=StorageSpec(
+            memtable_flush_bytes=max(32 * 1024, per_tree // 8),
+            block_bytes=8 * 1024,
+            block_cache_bytes=max(64 * 1024, int(per_tree * 0.10))),
+        clienttier=clienttier or ClientTierConfig(),
+        arrivals=arrivals,
     )
 
 

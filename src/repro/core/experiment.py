@@ -22,6 +22,8 @@ from repro.adaptive.policy import make_policy
 from repro.cassandra.client import CassandraSession
 from repro.cassandra.consistency import ConsistencyLevel
 from repro.cassandra.deployment import CassandraCluster, CassandraSpec
+from repro.clienttier.openloop import (ClientTier, OpenLoopClient,
+                                       build_client_stack)
 from repro.cluster.failure import FailureInjector, FaultSchedule
 from repro.cluster.topology import Cluster, ClusterSpec
 from repro.consistency.history import HistoryRecorder
@@ -32,6 +34,7 @@ from repro.hbase.client import HBaseClient
 from repro.hbase.deployment import HBaseCluster, HBaseSpec
 from repro.sim.kernel import Environment
 from repro.sim.rng import RngRegistry
+from repro.ycsb.arrivals import UserSessions, make_arrivals
 from repro.ycsb.client import LoadResult, RunResult, YcsbClient
 from repro.ycsb.db import CassandraBinding, DbBinding, HBaseBinding
 from repro.ycsb.workload import Workload, WorkloadSpec
@@ -69,6 +72,15 @@ def summarize_run(result: "RunResult") -> dict:
         summary["consistency"] = result.consistency
     if result.decisions is not None:
         summary["decisions"] = result.decisions
+    if result.offered is not None:
+        # Open-loop runs: offered load is an input, goodput an output.
+        # "throughput" above equals goodput; the explicit pair makes the
+        # collapse (offered >> goodput) readable at a glance.
+        summary["offered"] = result.offered
+        summary["offered_per_s"] = result.measurements.offered_throughput
+        summary["goodput"] = result.throughput
+    if result.clienttier is not None:
+        summary["clienttier"] = result.clienttier
     return summary
 
 
@@ -123,6 +135,13 @@ class ExperimentSession:
         self._recorded_runs = 0
 
         tail = config.tail
+        #: Client-tier driver overrides: a short per-operation timeout
+        #: makes an overloaded store fail fast enough for client-side
+        #: defenses (breaker windows, retry budgets) to react within a
+        #: short surge campaign.
+        driver_kwargs: dict = {}
+        if config.clienttier.op_timeout_s is not None:
+            driver_kwargs["op_timeout_s"] = config.clienttier.op_timeout_s
         if config.db == "hbase":
             hc = config.hbase
             self.hbase = HBaseCluster(self.cluster, HBaseSpec(
@@ -139,7 +158,7 @@ class ExperimentSession:
                 HBaseClient(self.hbase, self.client_node,
                             rng=self.rngs.stream("hbase.client.backoff"),
                             speculative_retry=tail.hedge,
-                            deadline_s=tail.deadline_s))
+                            deadline_s=tail.deadline_s, **driver_kwargs))
         else:
             cc = config.cassandra
             self.cassandra = CassandraCluster(self.cluster, CassandraSpec(
@@ -161,7 +180,7 @@ class ExperimentSession:
                     session = CassandraSession(
                         self.cassandra, self.cluster.client_in(dc),
                         read_cl=cc.read_cl, write_cl=cc.write_cl,
-                        deadline_s=tail.deadline_s)
+                        deadline_s=tail.deadline_s, **driver_kwargs)
                     self._geo_sessions[dc] = session
                     self._geo_bindings[dc] = CassandraBinding(session)
                 home = config.geo.client_datacenters[0]
@@ -171,7 +190,7 @@ class ExperimentSession:
                 self._session = CassandraSession(
                     self.cassandra, self.client_node,
                     read_cl=cc.read_cl, write_cl=cc.write_cl,
-                    deadline_s=tail.deadline_s)
+                    deadline_s=tail.deadline_s, **driver_kwargs)
                 self.binding = CassandraBinding(self._session)
 
     @property
@@ -254,7 +273,8 @@ class ExperimentSession:
                  inject_faults: bool = False,
                  check_consistency: bool = False,
                  adaptive: Optional[str] = None,
-                 client_dc: Optional[str] = None) -> RunResult:
+                 client_dc: Optional[str] = None,
+                 open_loop: bool = False) -> RunResult:
         """Run one measured workload cell on the loaded deployment.
 
         With ``inject_faults`` the config's fault schedule is armed
@@ -280,6 +300,18 @@ class ExperimentSession:
         node drives (and measures) the run; the default is the first
         configured client datacenter.  Per-region sweeps run the same
         cell once per region.
+
+        With ``open_loop`` the run is driven by the config's
+        :class:`~repro.core.config.ArrivalConfig` through the resilient
+        client tier (:mod:`repro.clienttier`) built from the config's
+        :class:`~repro.core.config.ClientTierConfig`: arrivals dispatch
+        at their scheduled times regardless of in-flight work, latency
+        is measured from intended arrival, and the result carries the
+        offered count plus the tier's accounting.  When also checking
+        consistency, the history recorder wraps *outside* the tier so
+        cache-served (possibly stale) reads are recorded and priced by
+        the oracle.  ``n_threads``/``target_throughput``/
+        ``warmup_fraction`` do not apply; ``adaptive`` is unsupported.
         """
         if not self._loaded:
             raise RuntimeError("call load() before run_cell()")
@@ -307,8 +339,23 @@ class ExperimentSession:
                 active_session.write_cl = write_cl
         spec = workload or self.config.workload
         runtime_workload = self._new_workload(spec)
+        tier: Optional[ClientTier] = None
+        if open_loop:
+            if self.config.arrivals is None:
+                raise ValueError("open_loop runs need config.arrivals")
+            if adaptive is not None:
+                raise ValueError(
+                    "adaptive consistency control is closed-loop only")
+            tier = build_client_stack(active_binding, self.env, self.rngs,
+                                      self.config.clienttier)
         recorder: Optional[HistoryRecorder] = None
-        binding: DbBinding = active_binding
+        # The recorder wraps *outside* the tier: a cache hit is an
+        # observation the oracle must price, not skip.  The staleness
+        # probe (below) keeps using the raw ``active_binding`` — its
+        # read-your-writes measurements must not be cache-served, and
+        # an open breaker must not kill the probe process.
+        binding: DbBinding = tier.binding if tier is not None \
+            else active_binding
         if check_consistency:
             read_cl_of = write_cl_of = None
             if active_session is not None:
@@ -316,7 +363,7 @@ class ExperimentSession:
                 read_cl_of = lambda: session.read_cl.value  # noqa: E731
                 write_cl_of = lambda: session.write_cl.value  # noqa: E731
             self._recorded_runs += 1
-            recorder = HistoryRecorder(active_binding, self.env,
+            recorder = HistoryRecorder(binding, self.env,
                                        read_cl=read_cl_of,
                                        write_cl=write_cl_of,
                                        tag_prefix=f"h{self._recorded_runs}.")
@@ -356,12 +403,41 @@ class ExperimentSession:
                                             policy, monitor)
             binding = controller
             session_cls = (active_session.read_cl, active_session.write_cl)
-        client = YcsbClient(self.env, binding, runtime_workload,
-                            self.rngs.stream(f"client.run.{self.env.now}"),
-                            client_node=client_node)
-        ops = operation_count or self.config.operation_count
-        target = (target_throughput if target_throughput is not None
-                  else self.config.target_throughput)
+        if open_loop:
+            arrival_cfg = self.config.arrivals
+            assert arrival_cfg is not None  # checked above
+            arrivals = make_arrivals(
+                arrival_cfg.process, arrival_cfg.rate,
+                self.rngs.stream(f"arrivals.{self.env.now}"),
+                period_s=arrival_cfg.period_s,
+                peak_factor=arrival_cfg.peak_factor,
+                spike_at_s=arrival_cfg.spike_at_s,
+                spike_factor=arrival_cfg.spike_factor,
+                spike_duration_s=arrival_cfg.spike_duration_s)
+            sessions = UserSessions(
+                arrival_cfg.n_users,
+                self.rngs.stream(f"sessions.{self.env.now}"),
+                n_tenants=arrival_cfg.n_tenants)
+            open_client = OpenLoopClient(self.env, binding, runtime_workload,
+                                         arrivals, sessions=sessions,
+                                         tier=tier)
+            ops = arrival_cfg.max_arrivals
+            target = arrival_cfg.rate
+            run_coro = open_client.run(ops, offered_rate=target)
+        else:
+            client = YcsbClient(self.env, binding, runtime_workload,
+                                self.rngs.stream(f"client.run.{self.env.now}"),
+                                client_node=client_node)
+            ops = operation_count or self.config.operation_count
+            target = (target_throughput if target_throughput is not None
+                      else self.config.target_throughput)
+            run_coro = client.run(
+                ops,
+                n_threads=n_threads or self.config.n_threads,
+                target_throughput=target,
+                warmup_fraction=(1.0 if warmup_fraction is None
+                                 else (warmup_fraction
+                                       or self.config.warmup_fraction)))
         injector = probe = None
         run_started = self.env.now
         if inject_faults and self.config.faults:
@@ -372,23 +448,18 @@ class ExperimentSession:
             self.env.process(probe.run(), name="staleness-probe")
         meter = EnergyMeter(self.cluster.nodes)
         meter.start()
-        process = self.env.process(
-            client.run(ops,
-                       n_threads=n_threads or self.config.n_threads,
-                       target_throughput=target,
-                       warmup_fraction=(1.0 if warmup_fraction is None
-                                        else (warmup_fraction
-                                              or self.config.warmup_fraction))),
-            name="run")
+        process = self.env.process(run_coro, name="run")
         result: RunResult = self.env.run(until=process)
         result = replace(result, energy=meter.stop())
         if probe is not None:
             probe.stop()
         self._settle()
-        if recorder is not None and injector is not None:
+        if recorder is not None and (injector is not None or open_loop):
             # The convergence check needs a quiescent cluster; after a
             # fault campaign that includes waiting out hinted handoff
-            # (see :meth:`_drain_hints`).
+            # (see :meth:`_drain_hints`).  Open-loop overload manufactures
+            # hints the same way a fault does — replica timeouts under
+            # pressure — so checked surge runs wait them out too.
             self._drain_hints()
         if injector is not None:
             # Built after settling so restarts/heals landing just past

@@ -9,7 +9,8 @@ __all__ = ["render_adaptive_sweep", "render_adaptive_timeline",
            "render_check_report", "render_consistency_sweep",
            "render_failover_sweep", "render_failover_timeline",
            "render_micro_sweep", "render_progress", "render_series",
-           "render_stress_sweep", "render_table", "render_tail_sweep"]
+           "render_stress_sweep", "render_surge_sweep", "render_table",
+           "render_tail_sweep"]
 
 
 def render_progress(event, completed: Optional[int] = None) -> str:
@@ -166,6 +167,48 @@ def render_tail_sweep(db: str, sweep: dict) -> str:
         headers, rows,
         title=f"Tail-latency defenses ({db}): "
               "latency distribution and error budget per defense stack")
+
+
+def render_surge_sweep(db: str, sweep: dict) -> str:
+    """Flash-crowd survival table, one row per (scenario, defense mode).
+
+    ``sweep`` is :func:`repro.core.sweep.surge_sweep` output.  The
+    offered/goodput pair is the campaign's headline (open-loop arrivals
+    make offered load an input, so collapse reads as goodput falling
+    away from it); the refusal columns then say *where* the missing
+    requests went — shed by the leveling queue, clipped by the rate
+    limiter, fast-failed by an open breaker, or lost to store-side
+    errors — and the cache hit rate plus max staleness lag price what
+    the cache-aside tier traded for the surviving goodput.
+    """
+    headers = ["scenario", "defense", "offered", "goodput/s", "p50 ms",
+               "p95 ms", "p99 ms", "p99.9 ms", "shed", "ratelim",
+               "breaker", "retried", "store err", "cache hr",
+               "max lag s"]
+    rows = []
+    for scenario in sweep:
+        for mode, summary in sweep[scenario].items():
+            by_type = summary.get("errors_by_type", {})
+            tier = summary.get("clienttier") or {}
+            cache = tier.get("cache") or {}
+            retry = tier.get("retry") or {}
+            shed = by_type.get("LoadShed", 0)
+            ratelimited = by_type.get("RateLimited", 0)
+            breaker = by_type.get("BreakerOpen", 0)
+            store = (summary["errors"] - shed - ratelimited - breaker)
+            cons = summary.get("consistency") or {}
+            hit_rate = cache.get("hit_rate")
+            rows.append([
+                scenario, mode, summary.get("offered", summary["ops"]),
+                summary["throughput"], summary["p50_ms"],
+                summary["p95_ms"], summary["p99_ms"], summary["p999_ms"],
+                shed, ratelimited, breaker, retry.get("retried", 0),
+                store, "-" if hit_rate is None else hit_rate,
+                cons.get("max_staleness_lag_s", "-")])
+    return render_table(
+        headers, rows,
+        title=f"Flash-crowd survival ({db}): offered vs goodput and "
+              "refusal breakdown per defense stack")
 
 
 def render_geo_sweep(sweep: dict) -> str:

@@ -61,7 +61,9 @@ __all__ = [
 #: regressions in simulation cost are visible in cached artifacts.
 #: "6": geo campaigns — RunSpec gained ``client_dc``, consistency
 #: reports gained ``client_dc``, fault specs gained ``datacenter``.
-RESULT_VERSION = "6"
+#: "7": open-loop client tier — RunSpec gained ``open_loop``, summaries
+#: may carry ``offered``/``goodput`` and a ``clienttier`` breakdown.
+RESULT_VERSION = "7"
 
 #: Environment override for the cell-cache directory.
 CACHE_ENV_VAR = "REPRO_CELL_CACHE"
@@ -101,6 +103,11 @@ class RunSpec:
     #: Geo deployments: which region's client drives this run
     #: (``repro-bench geo`` runs the same cell once per region).
     client_dc: Optional[str] = None
+    #: Drive this run open-loop through the resilient client tier
+    #: (``repro-bench surge``): arrivals come from the config's
+    #: :class:`~repro.core.config.ArrivalConfig`, defenses from its
+    #: :class:`~repro.core.config.ClientTierConfig`.
+    open_loop: bool = False
 
 
 @dataclass(frozen=True)
@@ -173,7 +180,8 @@ def execute_cell(spec: CellSpec) -> dict:
             inject_faults=run.faults,
             check_consistency=run.check,
             adaptive=run.adaptive,
-            client_dc=run.client_dc)
+            client_dc=run.client_dc,
+            open_loop=run.open_loop)
         if run.measured:
             runs.append(summarize_run(result))
     payload: dict = {"runs": runs}

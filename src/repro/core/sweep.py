@@ -34,12 +34,15 @@ from repro.consistency.explorer import (CHECK_CL_MODES,
                                         check_cells,
                                         check_sweep)
 from repro.core.config import (AdaptiveConfig,
+                               ArrivalConfig,
                                CassandraConfig,
+                               ClientTierConfig,
                                ExperimentConfig,
                                TailDefenseConfig,
                                default_geo_config,
                                default_micro_config,
                                default_stress_config,
+                               default_surge_config,
                                scaled_stress_storage)
 from repro.core.runner import CellRunner, CellSpec, RunSpec, WarmSpec
 from repro.storage.lsm import StorageSpec
@@ -61,8 +64,12 @@ __all__ = [
     "QUICK_CHECK_SCALE",
     "QUICK_FAILOVER_SCALE",
     "QUICK_GEO_SCALE",
+    "QUICK_SURGE_SCALE",
     "QUICK_TAIL_SCALE",
     "STRESS_WORKLOAD_ORDER",
+    "SURGE_MODES",
+    "SURGE_SCENARIOS",
+    "SurgeScale",
     "SweepScale",
     "TAIL_MODES",
     "TAIL_SCENARIOS",
@@ -78,6 +85,10 @@ __all__ = [
     "geo_sweep",
     "replication_micro_sweep",
     "replication_stress_sweep",
+    "surge_arrivals",
+    "surge_cells",
+    "surge_sweep",
+    "surge_tier_for_mode",
     "tail_cells",
     "tail_defense_for_mode",
     "tail_sweep",
@@ -517,6 +528,226 @@ def tail_sweep(db: str, scale: Optional[TailScale] = None,
     """
     scale = scale or TailScale()
     cells = tail_cells(db, scale, modes, scenarios)
+    out: dict = {}
+    for cell, payload in zip(cells, _run(cells, runner)):
+        scenario, mode = cell.key
+        out.setdefault(scenario, {})[mode] = payload["runs"][0]
+    return out
+
+
+# -- Flash-crowd survival: the open-loop client tier ------------------------
+
+#: Defense stacks, weakest to strongest.  "undefended" is the classic
+#: anti-pattern: per-arrival unbounded concurrency plus uncapped
+#: client retries — the configuration that turns a transient overload
+#: into a metastable retry storm.  Each later mode adds defenses on
+#: top of the previous one; "full" also enables the PR-3 server-side
+#: tail stack (deadlines + bounded handler queues) so the client and
+#: server defenses are measured composed, not in isolation.
+SURGE_MODES = ("undefended", "breaker", "breaker+budget+leveling", "full")
+
+#: Arrival scenarios: a steady Poisson control, a 10x flash crowd, and
+#: the same flash crowd landing on a cluster with one gray-degraded
+#: replica (the compound failure where breakers must trip *and* the
+#: leveler must shed).
+SURGE_SCENARIOS = ("steady", "flash_crowd", "flash_crowd+slow_replica")
+
+
+@dataclass(frozen=True)
+class SurgeScale:
+    """Scale knobs for flash-crowd survival campaigns."""
+
+    record_count: int = 8_000
+    n_nodes: int = 8
+    #: Steady offered rate, arrivals/s — comfortably under the healthy
+    #: cluster's capacity so the steady scenario is a clean control.
+    base_rate: float = 600.0
+    max_arrivals: int = 20_000
+    #: Simulated user population; per-arrival users are zipf-skewed, so
+    #: a small hot set dominates (what makes the cache-aside tier pay).
+    n_users: int = 1_000_000
+    n_tenants: int = 8
+    #: Flash crowd: offered rate multiplies by ``spike_factor`` for
+    #: ``spike_duration_s`` starting at ``spike_at_s``.
+    spike_at_s: float = 4.0
+    spike_factor: float = 10.0
+    spike_duration_s: float = 6.0
+    #: Gray fault for the compound scenario — one replica's disk slowed
+    #: under the spike, like the tail campaign's ``slow_replica``.
+    slowdown: float = 8.0
+    #: Client-side operation deadline, applied in *every* mode so the
+    #: comparison isolates the defenses, not the timeout.  Short enough
+    #: that a spike's queueing delay exhausts patience (timed-out work
+    #: still burns server capacity — the waste retries amplify), yet an
+    #: order of magnitude above the healthy p99.9.
+    op_timeout_s: float = 0.25
+    retries: int = 3
+    retry_backoff_s: float = 0.05
+    #: Finagle-style retry budget: retries may add at most this
+    #: fraction on top of first attempts (modes with "budget").
+    budget_ratio: float = 0.2
+    breaker_failure_rate: float = 0.5
+    breaker_cooldown_s: float = 1.0
+    leveling_workers: int = 48
+    leveling_queue: int = 256
+    #: Edge cache: a couple of spike-lengths of staleness tolerance on
+    #: the zipf head absorbs most repeat reads during the surge (the
+    #: oracle still prices every stale serve; ``max_staleness_lag_s``
+    #: vs this TTL is the campaign's QoD budget check).
+    cache_ttl_s: float = 2.0
+    cache_capacity: int = 4_096
+    #: Per-tenant rate limit as a multiple of the fair steady share
+    #: (``base_rate / n_tenants``) — admits normal traffic with slack,
+    #: clips the spike at the door.
+    rate_limit_factor: float = 6.0
+    #: Server RPC threadpool, bounded in *every* mode (a real server's
+    #: handler count is finite — this is what couples a disk-miss
+    #: pileup to the cached fast path and lets overload collapse
+    #: goodput rather than only stretch latency).
+    handler_slots: int = 16
+    max_handler_queue: int = 32
+    #: Mode "full" additionally propagates a deadline with each RPC
+    #: (PR-3 composition): replica-side work is abandoned once the
+    #: budget is spent, so a timed-out request stops wasting capacity.
+    deadline_s: float = 0.5
+    seed: int = 42
+
+
+#: Fast settings for tests, CI surge smoke, and --quick campaigns.
+QUICK_SURGE_SCALE = SurgeScale(n_nodes=6, max_arrivals=15_000,
+                               n_users=100_000, spike_at_s=3.0,
+                               spike_duration_s=4.0,
+                               leveling_workers=32, leveling_queue=128)
+
+
+def surge_arrivals(scenario: str, scale: SurgeScale) -> ArrivalConfig:
+    """The arrival process a surge scenario offers."""
+    if scenario not in SURGE_SCENARIOS:
+        raise ValueError(f"unknown surge scenario {scenario!r}; "
+                         f"choose from {SURGE_SCENARIOS}")
+    if scenario == "steady":
+        return ArrivalConfig(process="poisson", rate=scale.base_rate,
+                             max_arrivals=scale.max_arrivals,
+                             n_users=scale.n_users,
+                             n_tenants=scale.n_tenants)
+    return ArrivalConfig(process="flash_crowd", rate=scale.base_rate,
+                         max_arrivals=scale.max_arrivals,
+                         n_users=scale.n_users, n_tenants=scale.n_tenants,
+                         spike_at_s=scale.spike_at_s,
+                         spike_factor=scale.spike_factor,
+                         spike_duration_s=scale.spike_duration_s)
+
+
+def surge_tier_for_mode(mode: str, scale: SurgeScale) -> ClientTierConfig:
+    """The client-tier defense stack a campaign mode enables.
+
+    Every mode (including "undefended") shares the same operation
+    deadline and retry count, so the modes differ only in defenses:
+    the undefended stack retries without a budget and dispatches with
+    unbounded concurrency — exactly the retry-storm anti-pattern.
+    """
+    if mode == "undefended":
+        return ClientTierConfig(retries=scale.retries,
+                                retry_backoff_s=scale.retry_backoff_s,
+                                op_timeout_s=scale.op_timeout_s)
+    if mode == "breaker":
+        return ClientTierConfig(retries=scale.retries,
+                                retry_backoff_s=scale.retry_backoff_s,
+                                breaker_failure_rate=scale.breaker_failure_rate,
+                                breaker_cooldown_s=scale.breaker_cooldown_s,
+                                op_timeout_s=scale.op_timeout_s)
+    if mode == "breaker+budget+leveling":
+        return ClientTierConfig(retries=scale.retries,
+                                retry_backoff_s=scale.retry_backoff_s,
+                                retry_budget_ratio=scale.budget_ratio,
+                                breaker_failure_rate=scale.breaker_failure_rate,
+                                breaker_cooldown_s=scale.breaker_cooldown_s,
+                                leveling_workers=scale.leveling_workers,
+                                leveling_queue=scale.leveling_queue,
+                                op_timeout_s=scale.op_timeout_s)
+    if mode == "full":
+        per_tenant = scale.rate_limit_factor * (scale.base_rate
+                                                / scale.n_tenants)
+        return ClientTierConfig(retries=scale.retries,
+                                retry_backoff_s=scale.retry_backoff_s,
+                                retry_budget_ratio=scale.budget_ratio,
+                                breaker_failure_rate=scale.breaker_failure_rate,
+                                breaker_cooldown_s=scale.breaker_cooldown_s,
+                                rate_limit_per_tenant=per_tenant,
+                                rate_limit_burst=per_tenant,
+                                leveling_workers=scale.leveling_workers,
+                                leveling_queue=scale.leveling_queue,
+                                cache_ttl_s=scale.cache_ttl_s,
+                                cache_capacity=scale.cache_capacity,
+                                op_timeout_s=scale.op_timeout_s)
+    raise ValueError(f"unknown surge mode {mode!r}; "
+                     f"choose from {SURGE_MODES}")
+
+
+def surge_cells(db: str, scale: SurgeScale,
+                modes: Sequence[str] = SURGE_MODES,
+                scenarios: Sequence[str] = SURGE_SCENARIOS
+                ) -> list[CellSpec]:
+    """One open-loop cell per (scenario, defense mode).
+
+    Cassandra cells run at CL ONE with the consistency oracle recording
+    *outside* the cache-aside tier: stale cache hits are expected (and
+    bounded by the TTL) under a weak CL, while convergence violations
+    remain unexpected either way.  HBase cells skip the check — a
+    client-side cache deliberately breaks the strong single-master
+    model, so "violations" there would only restate the cache TTL.
+    """
+    cells = []
+    for scenario in scenarios:
+        for mode in modes:
+            config = default_surge_config(
+                db, arrivals=surge_arrivals(scenario, scale),
+                clienttier=surge_tier_for_mode(mode, scale),
+                record_count=scale.record_count, n_nodes=scale.n_nodes,
+                seed=scale.seed)
+            # Every mode runs against the same bounded server threadpool
+            # (a real server's handler count is finite); only "full"
+            # adds deadline propagation, which abandons replica-side
+            # work once a request's budget is spent.
+            config = replace(config, tail=TailDefenseConfig(
+                deadline_s=scale.deadline_s if mode == "full" else None,
+                handler_slots=scale.handler_slots,
+                max_handler_queue=scale.max_handler_queue))
+            check = db == "cassandra"
+            run = RunSpec(workload="read_mostly", open_loop=True,
+                          read_cl="ONE" if check else None,
+                          write_cl="ONE" if check else None,
+                          check=check)
+            if scenario == "flash_crowd+slow_replica":
+                config = replace(config, faults=(FaultSpec(
+                    kind="slow_disk", node_id=0, at_s=scale.spike_at_s,
+                    duration_s=scale.spike_duration_s + 2.0,
+                    severity=scale.slowdown),))
+                run = replace(run, faults=True)
+            cells.append(CellSpec(
+                key=(scenario, mode),
+                label=f"surge/{db}/{scenario}/{mode}",
+                config=config,
+                runs=(run,),
+                warm=WarmSpec(operations=max(1_000,
+                                             scale.max_arrivals // 6))))
+    return cells
+
+
+def surge_sweep(db: str, scale: Optional[SurgeScale] = None,
+                modes: Sequence[str] = SURGE_MODES,
+                scenarios: Sequence[str] = SURGE_SCENARIOS,
+                runner: Optional[CellRunner] = None) -> dict:
+    """Flash-crowd survival campaign: db x scenario x defense stack.
+
+    Returns ``{scenario: {mode: summary}}`` where each summary carries
+    the offered/goodput pair, latency percentiles up to p99.9 measured
+    from *arrival* (coordinated omission fixed), the per-kind error
+    breakdown (``RateLimited``/``LoadShed``/``BreakerOpen`` next to the
+    store-side timeouts), and the ``clienttier`` accounting.
+    """
+    scale = scale or SurgeScale()
+    cells = surge_cells(db, scale, modes, scenarios)
     out: dict = {}
     for cell, payload in zip(cells, _run(cells, runner)):
         scenario, mode = cell.key

@@ -73,6 +73,13 @@ class RunResult:
     #: :meth:`repro.adaptive.controller.AdaptiveController.summary`)
     #: attached when the cell ran under an adaptive policy.
     decisions: Optional[dict] = None
+    #: Total arrivals offered by an open-loop run (``None`` marks a
+    #: closed-loop run, where offered load is not an independent input).
+    offered: Optional[int] = None
+    #: JSON-safe client-tier accounting (breaker/retry/limiter/leveler/
+    #: cache counters — see :meth:`repro.clienttier.ClientTier.stats`)
+    #: attached when the cell ran through the resilient client tier.
+    clienttier: Optional[dict] = None
 
     def stats(self, op: str):
         return self.measurements.stats(op)

@@ -70,6 +70,12 @@ class Measurements:
     def __init__(self) -> None:
         #: op name -> list of (completion time, latency seconds).
         self.samples: dict[str, list[tuple[float, float]]] = {}
+        #: op name -> arrivals offered (open-loop runs).  Offered counts
+        #: every intended request — completed, errored, shed or rate
+        #: limited — which is the denominator goodput is judged against.
+        self.offered: dict[str, int] = {}
+        self.first_arrival_at: Optional[float] = None
+        self.last_arrival_at: Optional[float] = None
         self.errors: dict[str, int] = {}
         #: error kind (exception class name) -> count.  Distinguishes an
         #: ``RpcTimeout`` burst (slow/unreachable coordinator) from
@@ -91,6 +97,20 @@ class Measurements:
 
     def record(self, op: str, completed_at: float, latency: float) -> None:
         self.samples.setdefault(op, []).append((completed_at, latency))
+
+    def record_arrival(self, op: str, at: float) -> None:
+        """Count one offered (intended) request at its arrival time.
+
+        Open-loop clients call this for *every* arrival before knowing
+        its fate; latency recorded later must be measured from this
+        arrival (not from dequeue), so queueing delay is charged rather
+        than coordinated-omitted.
+        """
+        self.offered[op] = self.offered.get(op, 0) + 1
+        if self.first_arrival_at is None or at < self.first_arrival_at:
+            self.first_arrival_at = at
+        if self.last_arrival_at is None or at > self.last_arrival_at:
+            self.last_arrival_at = at
 
     def _sorted_latencies(self, op: str) -> list[float]:
         samples = self.samples.get(op)
@@ -135,6 +155,27 @@ class Measurements:
         duration = self.duration
         return self.total_ops / duration if duration > 0 else 0.0
 
+    @property
+    def offered_total(self) -> int:
+        """Total arrivals offered (0 for closed-loop runs)."""
+        return sum(self.offered.values())
+
+    @property
+    def offered_throughput(self) -> float:
+        """Offered load over the arrival span, arrivals per second.
+
+        Measured over first-to-last *arrival* rather than the run's
+        full duration: the drain tail after the last arrival carries no
+        offered load, and including it would understate the pressure
+        the system was actually under.
+        """
+        offered = self.offered_total
+        if (offered < 2 or self.first_arrival_at is None
+                or self.last_arrival_at is None
+                or self.last_arrival_at <= self.first_arrival_at):
+            return 0.0
+        return offered / (self.last_arrival_at - self.first_arrival_at)
+
     def stats(self, op: str) -> LatencyStats:
         samples = self.samples.get(op, [])
         errors = self.errors.get(op, 0)
@@ -175,7 +216,7 @@ class Measurements:
             p999=percentile(merged, 0.999),
         )
 
-    def timeline(self, bucket_s: float
+    def timeline(self, bucket_s: float, by: str = "completion"
                  ) -> list[tuple[float, int, float, float, float]]:
         """(bucket start, ops, mean, p95, p99 latency) per time bucket.
 
@@ -184,11 +225,21 @@ class Measurements:
         the adaptive monitor / SLA reports, which need per-window
         percentiles rather than means.  The percentiles use the same
         nearest-rank definition as :func:`percentile`.
+
+        ``by="arrival"`` keys each sample by when its request *arrived*
+        (completion minus latency) instead of when it completed.  For
+        open-loop runs that is the honest axis: a flash-crowd bucket
+        should show the latency of the requests that arrived during the
+        spike, not dilute them across whenever they finally finished.
         """
         if bucket_s <= 0:
             raise ValueError("bucket_s must be positive")
+        if by not in ("completion", "arrival"):
+            raise ValueError(f"unknown timeline key {by!r}; "
+                             f"choose 'completion' or 'arrival'")
         all_samples = sorted(
-            (t, lat) for op_samples in self.samples.values()
+            (t - lat if by == "arrival" else t, lat)
+            for op_samples in self.samples.values()
             for t, lat in op_samples)
         if not all_samples:
             return []

@@ -204,3 +204,61 @@ class TestTailCommand:
         assert main(["tail", "--quick", "--jobs", "1", *cells]) == 0
         serial = capsys.readouterr()
         assert serial.out == first.out
+
+
+class TestSurgeCommand:
+    def test_surge_parses(self):
+        args = build_parser().parse_args(
+            ["surge", "--quick", "--db", "cassandra",
+             "--mode", "undefended", "--mode", "full",
+             "--scenario", "flash_crowd", "--strict", "--jobs", "4"])
+        assert args.command == "surge"
+        assert args.dbs == ["cassandra"]
+        assert args.modes == ["undefended", "full"]
+        assert args.scenarios == ["flash_crowd"]
+        assert args.strict is True
+        assert args.jobs == 4
+
+    def test_surge_defaults_cover_both_dbs_full_matrix(self):
+        args = build_parser().parse_args(["surge"])
+        assert args.dbs is None  # main() expands this to both databases
+        assert args.modes is None  # cmd_surge falls back to SURGE_MODES
+        assert args.scenarios is None
+        assert args.jobs == 1 and args.no_cache is False
+
+    def test_surge_invalid_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["surge", "--mode", "prayer"])
+
+    def test_surge_invalid_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["surge", "--scenario", "meteor"])
+
+    def test_surge_end_to_end_jobs_and_cache_identical(self, tmp_path,
+                                                       monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CELL_CACHE", str(tmp_path / "cache"))
+        report = tmp_path / "surge.json"
+        cells = ["--db", "cassandra", "--scenario", "steady",
+                 "--mode", "undefended", "--mode", "full", "--strict",
+                 "--report", str(report)]
+        argv = ["surge", "--quick", "--jobs", "2", *cells]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "Flash-crowd survival (cassandra)" in first.out
+        assert "goodput/s" in first.out
+        # Cached rerun is bit-identical (acceptance criterion).
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "cached" in second.err
+        # So is a serial run against the same cache: jobs only changes
+        # scheduling, never results.
+        assert main(["surge", "--quick", "--jobs", "1", *cells]) == 0
+        serial = capsys.readouterr()
+        assert serial.out == first.out
+        # The JSON report carries the open-loop accounting.
+        import json as json_module
+        payload = json_module.loads(report.read_text())
+        summary = payload["cassandra"]["steady"]["full"]
+        assert summary["offered"] > 0
+        assert "clienttier" in summary and "consistency" in summary

@@ -373,3 +373,77 @@ class TestGeoStalenessShapes:
         second = self._run_cell(no_repair=True)
         # A violating run is a repeatable test case, not a flake.
         assert first == second
+
+
+class TestFlashCrowdShapes:
+    """The flash-crowd survival story: an open-loop 10x spike turns the
+    naive retrying client into its own worst enemy (retry amplification
+    collapses goodput), while the full defense stack — breaker, retry
+    budget, rate limiter, load leveling, cache-aside — sheds loudly at
+    the client and sustains a multiple of the undefended goodput, with
+    the cache's staleness priced (and bounded) by the oracle."""
+
+    @pytest.fixture(scope="class")
+    def surge(self):
+        from repro.core.sweep import QUICK_SURGE_SCALE, surge_sweep
+        return surge_sweep("cassandra", QUICK_SURGE_SCALE,
+                           modes=("undefended", "full"),
+                           scenarios=("steady", "flash_crowd"))
+
+    def test_steady_control_is_clean(self, surge):
+        # At the base rate both stacks are invisible: every arrival is
+        # served, goodput tracks the offered rate, nothing is shed.
+        for mode in ("undefended", "full"):
+            summary = surge["steady"][mode]
+            assert summary["errors"] == 0, mode
+            assert summary["goodput"] > 0.95 * summary["offered_per_s"], mode
+
+    def test_flash_crowd_collapses_undefended_goodput(self, surge):
+        # The spike drives queueing delay past the op timeout; timed-out
+        # work still burns server capacity, so goodput lands far below
+        # the offered rate — the metastable-failure signature.
+        summary = surge["flash_crowd"]["undefended"]
+        assert summary["goodput"] < 0.5 * summary["offered_per_s"]
+
+    def test_undefended_client_retry_storm(self, surge):
+        # Retry amplification: the naive client issues nearly as many
+        # (or more) retries than the entire offered load, while the
+        # budgeted stack holds retries to a small fraction of it.
+        undefended = surge["flash_crowd"]["undefended"]
+        full = surge["flash_crowd"]["full"]
+        assert undefended["clienttier"]["retry"]["retried"] > \
+            0.8 * undefended["offered"]
+        assert full["clienttier"]["retry"]["retried"] < \
+            0.1 * undefended["clienttier"]["retry"]["retried"]
+
+    def test_full_stack_sustains_twice_undefended_goodput(self, surge):
+        # The issue's acceptance bar: the composed defenses keep at
+        # least 2x the undefended goodput through the same spike.
+        assert surge["flash_crowd"]["full"]["goodput"] >= \
+            2.0 * surge["flash_crowd"]["undefended"]["goodput"]
+
+    def test_full_stack_fails_loudly_at_the_client(self, surge):
+        # Every refused request is an explicit client-side decision
+        # (shed at the leveling queue, clipped by a tenant bucket, or
+        # failed fast by the breaker) — no store-side timeouts at all.
+        by_type = surge["flash_crowd"]["full"]["errors_by_type"]
+        client_side = {"LoadShed", "RateLimited", "BreakerOpen"}
+        assert by_type.get("LoadShed", 0) > 0
+        assert set(by_type) <= client_side, by_type
+
+    def test_cache_staleness_priced_and_bounded(self, surge):
+        # The oracle records *outside* the cache-aside tier, so stale
+        # cache serves are real findings — expected at CL ONE, bounded
+        # by the TTL (plus the replication staleness CL ONE always
+        # allows), and never accompanied by lost acknowledged writes.
+        from repro.consistency.oracle import unexpected_violations
+        from repro.core.sweep import QUICK_SURGE_SCALE
+        for scenario, modes in surge.items():
+            for mode, summary in modes.items():
+                cons = summary["consistency"]
+                assert unexpected_violations(cons) == 0, (scenario, mode)
+                assert cons["violations_by_kind"]["convergence"] == 0, \
+                    (scenario, mode)
+        full = surge["flash_crowd"]["full"]["consistency"]
+        assert full["max_staleness_lag_s"] <= \
+            QUICK_SURGE_SCALE.cache_ttl_s + 0.5

@@ -276,3 +276,56 @@ class TestSla:
             sla=Sla(percentile=0.95, latency_ms=10))
         assert best == 100
         assert len(reports) == 3  # stops at first violation
+
+
+class TestOpenLoopAccounting:
+    """Offered-load accounting for open-loop runs: every arrival counts
+    whether or not it was ever served (the coordinated-omission fix)."""
+
+    def test_offered_counts_every_arrival(self):
+        m = Measurements()
+        for i in range(5):
+            m.record_arrival("read", at=float(i))
+        m.record("read", completed_at=5.0, latency=0.01)  # only 1 served
+        assert m.offered_total == 5
+        assert m.total_ops == 1
+
+    def test_offered_throughput_over_arrival_span(self):
+        m = Measurements()
+        m.started_at, m.finished_at = 0.0, 100.0  # long drain tail
+        for i in range(11):
+            m.record_arrival("read", at=float(i))  # 11 arrivals in 10 s
+        # The rate is measured first-to-last arrival, not run duration:
+        # the drain tail after the last arrival carries no offered load.
+        assert m.offered_throughput == pytest.approx(1.1)
+
+    def test_offered_throughput_degenerate_cases(self):
+        m = Measurements()
+        assert m.offered_throughput == 0.0  # no arrivals
+        m.record_arrival("read", at=1.0)
+        assert m.offered_throughput == 0.0  # a single arrival has no span
+        m.record_arrival("read", at=1.0)
+        assert m.offered_throughput == 0.0  # zero-width span
+
+    def test_arrival_bounds_track_extremes(self):
+        m = Measurements()
+        for at in (3.0, 1.0, 2.0):
+            m.record_arrival("read", at=at)
+        assert m.first_arrival_at == 1.0
+        assert m.last_arrival_at == 3.0
+
+    def test_timeline_by_arrival_charges_the_spike_bucket(self):
+        # A request that arrives at t=0.5 and completes at t=9.5 after
+        # 9 s of queueing belongs to the t=0 bucket on the arrival axis
+        # (the honest one for open-loop runs), but to the t=9 bucket on
+        # the completion axis.
+        m = Measurements()
+        m.record("read", completed_at=9.5, latency=9.0)
+        by_arrival = m.timeline(1.0, by="arrival")
+        assert by_arrival[0][:2] == (0.0, 1)
+        by_completion = m.timeline(1.0)
+        assert by_completion[0][:2] == (9.0, 1)
+
+    def test_timeline_rejects_unknown_axis(self):
+        with pytest.raises(ValueError):
+            Measurements().timeline(1.0, by="dequeue")
