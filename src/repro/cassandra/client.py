@@ -71,7 +71,7 @@ class CassandraSession:
         self.dc_aware = dc_aware
 
     def _coordinator_pool(self) -> list[Node]:
-        members = self.cassandra.server_nodes
+        members = self.cassandra.coordinator_nodes
         datacenters = getattr(self.cluster, "node_datacenter", None)
         if not self.dc_aware or datacenters is None:
             return members

@@ -31,6 +31,7 @@ from repro.cassandra.consistency import ConsistencyLevel, UnavailableError
 from repro.cassandra.hints import Hint
 from repro.cluster.hedging import HedgePolicy
 from repro.cluster.topology import DeadlineExceeded, RpcTimeout
+from repro.keyspace import token_of
 from repro.sim.kernel import (AllOf, AnyOf, Environment, Event, Interrupt,
                               Process, Timeout)
 from repro.sim.resources import Overloaded
@@ -347,6 +348,15 @@ class Coordinator:
         # Mutations go to every live replica; only the ack wait differs.
         # For LOCAL_* levels only acks from the coordinator's datacenter
         # (the first ``ack_pool`` candidates) satisfy the level.
+        pending = getattr(self.owner.placement, "pending", None)
+        if pending:
+            # A topology change is streaming: double-write to the moved
+            # arcs' gainers.  Appended *after* the first ``ack_pool``
+            # slots, so they receive every mutation (or a hint on
+            # failure) without ever counting toward the level.
+            ordered = ordered + [
+                r for r in pending.targets_for_token(token_of(key))
+                if r not in ordered and self.owner.cluster.node(r).alive]
         acks = [self._replica_mutate(r, key, value, size, timestamp,
                                      deadline=deadline)
                 for r in ordered]

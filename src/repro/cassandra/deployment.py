@@ -4,12 +4,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from typing import Optional
+from typing import Generator, Optional
 
 from repro.cassandra.multidc import NetworkTopologyStrategy, SimpleStrategy
 from repro.cassandra.node import CassandraNode
-from repro.cassandra.partitioner import TokenRing
+from repro.cassandra.partitioner import TokenRange, TokenRing
+from repro.cluster.disk import BACKGROUND
 from repro.cluster.topology import Cluster
+from repro.keyspace import token_of
 from repro.storage.lsm import StorageSpec
 
 __all__ = ["CassandraCluster", "CassandraSpec"]
@@ -52,6 +54,11 @@ class CassandraSpec:
     #: ``replication`` over the whole ring.  Requires a cluster that
     #: reports node datacenters (see :class:`repro.cluster.geo.GeoCluster`).
     replication_per_dc: Optional[dict] = None
+    #: Trailing server nodes provisioned but outside the initial ring;
+    #: the elasticity campaign bootstraps them at runtime.
+    spare_nodes: int = 0
+    #: Streaming granularity for bootstrap/decommission transfers.
+    stream_chunk_bytes: int = 1 << 20
 
 
 class CassandraCluster:
@@ -76,7 +83,16 @@ class CassandraCluster:
         else:
             self.client_node = cluster.node(len(cluster.nodes) - 1)
             self.server_nodes = cluster.nodes[:-1]
-        self.ring = TokenRing([n.node_id for n in self.server_nodes],
+        if not 0 <= spec.spare_nodes < len(self.server_nodes):
+            raise ValueError("spare_nodes must leave at least one "
+                             "in-service server")
+        if spec.spare_nodes and spec.replication_per_dc is not None:
+            raise ValueError("spare nodes require SimpleStrategy "
+                             "(elasticity is single-ring)")
+        members = (self.server_nodes[:len(self.server_nodes)
+                                     - spec.spare_nodes]
+                   if spec.spare_nodes else self.server_nodes)
+        self.ring = TokenRing([n.node_id for n in members],
                               spec.vnodes, cluster.rngs.stream("ring"))
         if spec.replication_per_dc is not None:
             datacenter_of = getattr(cluster, "node_datacenter", None)
@@ -89,13 +105,23 @@ class CassandraCluster:
                 self.ring, server_dcs, spec.replication_per_dc)
         else:
             self.placement = SimpleStrategy(self.ring, spec.replication)
+        # Spare nodes get no CassandraNode yet: verb handlers register
+        # once per node, so the instance is created lazily on first
+        # bootstrap and reused across later re-bootstraps.
         self.nodes: dict[int, CassandraNode] = {
             n.node_id: CassandraNode(
                 cluster, n, self.ring, spec,
                 cluster.rngs.stream(f"cassandra.coord.{n.node_id}"),
                 placement=self.placement)
-            for n in self.server_nodes
+            for n in members
         }
+        #: Nodes clients may coordinate through: the ring members.
+        #: Bootstrap appends the joiner (new coordinator capacity is
+        #: part of scale-out's payoff); decommission removes the leaver.
+        self.coordinator_nodes = list(members)
+        #: (time, source_node_id, dest_node_id, bytes) per completed
+        #: range stream (bootstrap/decommission transfers).
+        self.streams: list[tuple[float, int, int, int]] = []
 
     def replicas_of(self, key: str) -> list[int]:
         """Replica node ids for ``key`` under the configured placement."""
@@ -108,3 +134,151 @@ class CassandraCluster:
             for stat, count in node.coordinator.stats.items():
                 totals[stat] = totals.get(stat, 0) + count
         return totals
+
+    # -- elasticity --------------------------------------------------------
+
+    def _elastic_rng(self):
+        rng = getattr(self, "_elastic_rng_stream", None)
+        if rng is None:
+            # Created on first use so pre-elasticity cells draw exactly
+            # the same stream set as before this feature existed.
+            rng = self.cluster.rngs.stream("cassandra.elastic")
+            self._elastic_rng_stream = rng
+        return rng
+
+    def scale_out_candidate(self) -> Optional[int]:
+        """The next spare node a scale-out would bootstrap (lowest id)."""
+        spares = sorted(n.node_id for n in self.server_nodes
+                        if n.node_id not in self.ring.node_ids and n.alive)
+        return spares[0] if spares else None
+
+    def scale_in_candidate(self) -> Optional[int]:
+        """The node a scale-in would decommission (highest live id), or
+        ``None`` when removing one would drop the ring to (or below) RF."""
+        if len(self.ring.node_ids) <= self.spec.replication:
+            return None
+        members = sorted(nid for nid in self.ring.node_ids
+                         if self.cluster.node(nid).alive)
+        if len(members) <= 1:
+            return None
+        return members[-1]
+
+    def apply_scale_out(self, node_id: int) -> Generator:
+        yield from self.bootstrap(node_id)
+
+    def apply_scale_in(self, node_id: int) -> Generator:
+        yield from self.decommission(node_id)
+
+    def bootstrap(self, node_id: int) -> Generator:
+        """Live-join ``node_id`` (a sim process): plan on a ring clone,
+        double-write the moved arcs, stream their data, then commit.
+
+        While streaming, writes landing in a moved arc are also sent to
+        the joiner (pending ranges) and reads keep routing to the old
+        replicas — which still hold everything — so no acknowledged
+        write is lost across the topology change.
+        """
+        if self.spec.replication_per_dc is not None:
+            raise ValueError("bootstrap requires SimpleStrategy")
+        if node_id in self.ring.node_ids:
+            raise ValueError(f"node {node_id} is already in the ring")
+        if not any(n.node_id == node_id for n in self.server_nodes):
+            raise ValueError(f"node {node_id} is not a provisioned server")
+        node = self.cluster.node(node_id)
+        if not node.alive:
+            raise ValueError(f"cannot bootstrap dead node {node_id}")
+        if node_id not in self.nodes:
+            self.nodes[node_id] = CassandraNode(
+                self.cluster, node, self.ring, self.spec,
+                self.cluster.rngs.stream(f"cassandra.coord.{node_id}"),
+                placement=self.placement)
+        target = self.ring.clone()
+        moved = target.add_node(node_id, self._elastic_rng(),
+                                self.spec.replication)
+        yield from self._stream_and_commit(target, moved)
+        if all(n.node_id != node_id for n in self.coordinator_nodes):
+            self.coordinator_nodes.append(node)
+        return node_id
+
+    def decommission(self, node_id: int) -> Generator:
+        """Gracefully remove ``node_id`` (a sim process): survivors
+        inheriting its arcs double-receive writes while the data streams
+        off the leaving node, then the ring commits without it."""
+        if self.spec.replication_per_dc is not None:
+            raise ValueError("decommission requires SimpleStrategy")
+        if node_id not in self.ring.node_ids:
+            raise ValueError(f"node {node_id} is not in the ring")
+        if len(self.ring.node_ids) <= self.spec.replication:
+            raise ValueError("decommission would drop the ring below the "
+                             "replication factor")
+        target = self.ring.clone()
+        moved = target.remove_node(node_id, self.spec.replication)
+        yield from self._stream_and_commit(target, moved)
+        self.coordinator_nodes = [n for n in self.coordinator_nodes
+                                  if n.node_id != node_id]
+        return node_id
+
+    def _stream_and_commit(self, target: TokenRing,
+                           moved: list[TokenRange]) -> Generator:
+        """Stream every moved arc to its gainers, then adopt ``target``.
+
+        The pending double-write window opens before the first byte
+        moves and closes only after the ring has switched, so there is
+        no instant at which a write can miss both the old and the new
+        replica set.  On a mid-stream failure the change is abandoned:
+        the old ring stays in force and the pending window closes.
+        """
+        pending = getattr(self.placement, "pending", None)
+        if pending is not None:
+            pending.begin(moved)
+        try:
+            for arc in sorted(moved, key=lambda a: (a.start, a.end)):
+                for gainer in arc.gainers:
+                    source = self._stream_source(arc, gainer)
+                    if source is None:
+                        continue
+                    yield from self._stream_range(source, gainer, arc)
+            self.ring.adopt(target)
+        finally:
+            if pending is not None:
+                pending.end()
+
+    def _stream_source(self, arc: TokenRange,
+                       gainer: int) -> Optional[int]:
+        """A live old replica of ``arc`` to stream from (never the gainer)."""
+        for replica in arc.old_replicas:
+            if replica != gainer and replica in self.nodes \
+                    and self.cluster.node(replica).alive:
+                return replica
+        return None
+
+    def _stream_range(self, source_id: int, dest_id: int,
+                      arc: TokenRange) -> Generator:
+        """Ship one arc's data source -> dest over disks and NICs.
+
+        Sequential BACKGROUND-priority I/O on both ends (real streaming
+        is throttled below foreground requests) through the shared
+        network, so a transfer contends with serving traffic exactly
+        where the hardware would make it contend.
+        """
+        source, dest = self.nodes[source_id], self.nodes[dest_id]
+        entries = [e for e in source.tree.snapshot_entries()
+                   if arc.contains(token_of(e[0]))]
+        if not entries:
+            return
+        total = sum(e[3] for e in entries)
+        chunk = self.spec.stream_chunk_bytes
+        src_node, dst_node = source.node, dest.node
+        sent = 0
+        while sent < total:
+            step = min(chunk, total - sent)
+            yield from src_node.disk.read(step, sequential=True,
+                                          priority=BACKGROUND)
+            yield from self.cluster.network.transit(src_node.nic,
+                                                    dst_node.nic, step)
+            yield from dst_node.disk.write(step, sequential=True,
+                                           priority=BACKGROUND)
+            sent += step
+        dest.tree.ingest_run(entries)
+        self.streams.append((self.cluster.env.now, source_id, dest_id,
+                             total))

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Protocol
 
-from repro.cassandra.partitioner import TokenRing
+from repro.cassandra.partitioner import PendingRanges, TokenRing
 from repro.keyspace import token_of
 
 __all__ = ["NetworkTopologyStrategy", "SimpleStrategy"]
@@ -36,6 +36,9 @@ class SimpleStrategy:
     def __init__(self, ring: TokenRing, replication: int) -> None:
         self.ring = ring
         self.replication = replication
+        #: Armed during bootstrap/decommission streaming: extra write
+        #: targets that never count toward the consistency level.
+        self.pending = PendingRanges()
 
     def replicas_for_key(self, key: str) -> list[int]:
         return self.ring.replicas_for_key(key, self.replication)
@@ -64,6 +67,8 @@ class NetworkTopologyStrategy:
         self.ring = ring
         self.node_datacenter = dict(node_datacenter)
         self.replication_per_dc = dict(replication_per_dc)
+        #: See :class:`SimpleStrategy` — same double-write contract.
+        self.pending = PendingRanges()
         for dc, count in replication_per_dc.items():
             available = sum(1 for d in node_datacenter.values() if d == dc)
             if count > available:

@@ -10,10 +10,79 @@ lets the same keys drive both databases.
 from __future__ import annotations
 
 import bisect
+from dataclasses import dataclass
 
 from repro.keyspace import KEY_DOMAIN, token_of
 
-__all__ = ["TokenRing"]
+__all__ = ["PendingRanges", "TokenRange", "TokenRing"]
+
+
+@dataclass(frozen=True)
+class TokenRange:
+    """A clockwise ring arc ``[start, end)`` whose replica set changed.
+
+    ``start`` is inclusive and ``end`` exclusive, matching the ring's
+    segment convention (a vnode token owns the arc *starting* at it).
+    The arc wraps through zero when ``end <= start``.
+    """
+
+    start: int
+    end: int
+    #: Replica sets before and after the topology change, in ring order.
+    old_replicas: tuple[int, ...]
+    new_replicas: tuple[int, ...]
+
+    @property
+    def width(self) -> int:
+        """Token-space size of the arc (a zero-length arc is the full ring)."""
+        return (self.end - self.start) % KEY_DOMAIN or KEY_DOMAIN
+
+    @property
+    def gainers(self) -> tuple[int, ...]:
+        """Nodes that must *receive* this arc's data (new replicas)."""
+        return tuple(n for n in self.new_replicas
+                     if n not in self.old_replicas)
+
+    @property
+    def losers(self) -> tuple[int, ...]:
+        """Nodes that stop replicating this arc after the change."""
+        return tuple(n for n in self.old_replicas
+                     if n not in self.new_replicas)
+
+    def contains(self, token: int) -> bool:
+        return (token - self.start) % KEY_DOMAIN < self.width
+
+
+class PendingRanges:
+    """Extra write targets while a topology change streams data.
+
+    Cassandra's pending ranges: while a gainer (a bootstrapping joiner,
+    or a survivor inheriting a leaving node's arc) streams historical
+    data, every write whose token falls in a moved arc is *also* sent to
+    that arc's gainers.  The gainers never count toward the consistency
+    level — the ack quorum stays on the pre-change replica set — so no
+    acknowledged write can be missing from the post-change replicas.
+    """
+
+    def __init__(self) -> None:
+        self._arcs: tuple[TokenRange, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self._arcs)
+
+    def begin(self, arcs) -> None:
+        self._arcs = tuple(arcs)
+
+    def end(self) -> None:
+        self._arcs = ()
+
+    def targets_for_token(self, token: int) -> list[int]:
+        """Gainers of every pending arc containing ``token``, in order."""
+        out: list[int] = []
+        for arc in self._arcs:
+            if arc.contains(token):
+                out.extend(g for g in arc.gainers if g not in out)
+        return out
 
 
 class TokenRing:
@@ -39,11 +108,12 @@ class TokenRing:
         pairs.sort()
         self._tokens = [t for t, _ in pairs]
         self._owners = [o for _, o in pairs]
-        #: (primary ring index, replication) -> replica list.  The ring
-        #: is immutable after construction, so placement per segment is
-        #: too; the cache is bounded by vnode count x distinct RFs.
-        #: Callers treat the returned list as read-only (they copy or
-        #: comprehend, never mutate).
+        #: (primary ring index, replication) -> replica list.  Placement
+        #: per segment only changes on :meth:`add_node` /
+        #: :meth:`remove_node`, which clear the cache; between topology
+        #: changes it is bounded by vnode count x distinct RFs.  Callers
+        #: treat the returned list as read-only (they copy or comprehend,
+        #: never mutate).
         self._replica_cache: dict[tuple[int, int], list[int]] = {}
 
     def primary_index(self, token: int) -> int:
@@ -83,3 +153,115 @@ class TokenRing:
             start = self._tokens[i - 1] if i else self._tokens[-1] - KEY_DOMAIN
             totals[owner] += self._tokens[i] - start
         return {n: t / KEY_DOMAIN for n, t in totals.items()}
+
+    # -- elasticity --------------------------------------------------------
+
+    def clone(self) -> "TokenRing":
+        """A detached copy for *planning* a topology change.
+
+        Apply :meth:`add_node`/:meth:`remove_node` to the clone to learn
+        the moved arcs, stream data accordingly, then :meth:`adopt` the
+        clone so every holder of this ring object switches to the new
+        placement in one step.
+        """
+        twin = TokenRing.__new__(TokenRing)
+        twin.node_ids = list(self.node_ids)
+        twin.vnodes = self.vnodes
+        twin._tokens = list(self._tokens)
+        twin._owners = list(self._owners)
+        twin._replica_cache = {}
+        return twin
+
+    def adopt(self, other: "TokenRing") -> None:
+        """Atomically take over ``other``'s placement state.
+
+        The commit point of a topology change: the placement strategies
+        and nodes all share *this* ring object, so copying the clone's
+        state in-place flips the whole deployment to the new topology
+        between two events — never mid-request.
+        """
+        self.node_ids = list(other.node_ids)
+        self._tokens = list(other._tokens)
+        self._owners = list(other._owners)
+        self._replica_cache.clear()
+
+    def range_replicas(self, replication: int,
+                       boundaries: list[int] | None = None,
+                       ) -> dict[tuple[int, int], tuple[int, ...]]:
+        """Replica set of every arc ``[b[i], b[i+1])`` of ``boundaries``.
+
+        ``boundaries`` must be sorted and include every ring token (the
+        default is the ring's own token list), so each arc is homogeneous:
+        all its tokens share one replica set.  Used to diff placement
+        across topology changes at a common granularity.
+        """
+        if boundaries is None:
+            boundaries = self._tokens
+        n = len(boundaries)
+        out: dict[tuple[int, int], tuple[int, ...]] = {}
+        for i, start in enumerate(boundaries):
+            end = boundaries[(i + 1) % n]
+            out[(start, end)] = tuple(
+                self.replicas_for_token(start, replication))
+        return out
+
+    def _moved(self, before: dict[tuple[int, int], tuple[int, ...]],
+               after: dict[tuple[int, int], tuple[int, ...]],
+               ) -> list[TokenRange]:
+        return [TokenRange(start, end, before[start, end], after[start, end])
+                for (start, end) in before
+                if before[start, end] != after[start, end]]
+
+    def add_node(self, node_id: int, rng, replication: int,
+                 ) -> list[TokenRange]:
+        """Bootstrap ``node_id`` into the ring; return the moved arcs.
+
+        Draws ``vnodes`` fresh collision-free tokens from ``rng`` (the
+        ring stores no RNG of its own — pass a dedicated deterministic
+        stream), inserts them, and returns every arc whose replica set
+        changed at replication factor ``replication`` — exactly the data
+        a streaming plan must transfer to keep every key at RF.
+        """
+        if node_id in self.node_ids:
+            raise ValueError(f"node {node_id} is already in the ring")
+        taken = set(self._tokens)
+        new_tokens: list[int] = []
+        for _ in range(self.vnodes):
+            token = rng.randrange(KEY_DOMAIN)
+            while token in taken:
+                token = rng.randrange(KEY_DOMAIN)
+            taken.add(token)
+            new_tokens.append(token)
+        boundaries = sorted(taken)
+        before = self.range_replicas(replication, boundaries)
+        for token in new_tokens:
+            idx = bisect.bisect_left(self._tokens, token)
+            self._tokens.insert(idx, token)
+            self._owners.insert(idx, node_id)
+        self.node_ids.append(node_id)
+        self._replica_cache.clear()
+        return self._moved(before,
+                           self.range_replicas(replication, boundaries))
+
+    def remove_node(self, node_id: int, replication: int,
+                    ) -> list[TokenRange]:
+        """Decommission ``node_id``; return the arcs that moved.
+
+        The departing node's vnodes leave the ring and their arcs fall
+        to the clockwise successors; the returned :class:`TokenRange`
+        list names, per arc, which survivors must take over its data.
+        """
+        if node_id not in self.node_ids:
+            raise ValueError(f"node {node_id} is not in the ring")
+        if len(self.node_ids) == 1:
+            raise ValueError("cannot remove the last ring node")
+        boundaries = list(self._tokens)
+        before = self.range_replicas(replication, boundaries)
+        kept = [(t, o) for t, o in zip(self._tokens, self._owners)
+                if o != node_id]
+        self._tokens = [t for t, _ in kept]
+        self._owners = [o for _, o in kept]
+        self.node_ids.remove(node_id)
+        self._replica_cache.clear()
+        return self._moved(before,
+                           self.range_replicas(replication, boundaries))

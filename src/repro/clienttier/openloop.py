@@ -161,18 +161,22 @@ class OpenLoopClient:
         self._errors = OPERATION_ERRORS + CLIENT_TIER_ERRORS
 
     def run(self, max_arrivals: int,
-            offered_rate: Optional[float] = None) -> Generator:
+            offered_rate: Optional[float] = None,
+            measurements: Optional[Measurements] = None) -> Generator:
         """Dispatch ``max_arrivals`` arrivals, then drain (a sim process).
 
         ``offered_rate`` is purely descriptive (the steady arrival rate,
         reported as the run's target); the actual schedule comes from
-        the arrival process.
+        the arrival process.  ``measurements`` lets the caller share the
+        live sample store with a mid-run observer (the elasticity
+        campaign's autoscaler).
         """
         env = self.env
         leveler = self.tier.leveler if self.tier is not None else None
         limiter = self.tier.limiter if self.tier is not None else None
         cache = self.tier.cache if self.tier is not None else None
-        measurements = Measurements()
+        if measurements is None:
+            measurements = Measurements()
         epoch = env.now
         measurements.started_at = epoch
         state = {"not_found": 0, "outstanding": 0, "closed": False,

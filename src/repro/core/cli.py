@@ -36,6 +36,7 @@ from repro.core.report import (
     render_geo_sweep,
     render_micro_sweep,
     render_progress,
+    render_scale_sweep,
     render_stress_sweep,
     render_surge_sweep,
     render_table,
@@ -53,21 +54,25 @@ from repro.core.runner import CellRunner, default_cache_dir
 from repro.core.sweep import (
     ADAPTIVE_POLICIES,
     CHECK_CL_MODES,
+    ELASTIC_SCENARIOS,
     GEO_CL_MODES,
     GEO_SCENARIOS,
     QUICK_ADAPTIVE_SCALE,
     QUICK_CHECK_SCALE,
+    QUICK_ELASTIC_SCALE,
     QUICK_FAILOVER_SCALE,
     QUICK_GEO_SCALE,
     QUICK_SCALE,
     QUICK_SURGE_SCALE,
     QUICK_TAIL_SCALE,
+    SCALE_MODES,
     SURGE_MODES,
     SURGE_SCENARIOS,
     TAIL_MODES,
     TAIL_SCENARIOS,
     AdaptiveScale,
     CheckScale,
+    ElasticScale,
     FailoverScale,
     GeoScale,
     SurgeScale,
@@ -80,6 +85,7 @@ from repro.core.sweep import (
     geo_sweep,
     replication_micro_sweep,
     replication_stress_sweep,
+    scale_sweep,
     surge_sweep,
     tail_sweep,
 )
@@ -284,6 +290,42 @@ def cmd_surge(args) -> int:
                             runner=_runner(args))
         sweeps[db] = sweep
         print(render_surge_sweep(db, sweep))
+        print()
+        for scenario in sweep:
+            for mode, summary in sweep[scenario].items():
+                cons = summary.get("consistency")
+                if cons is None:
+                    continue
+                count = unexpected_violations(cons)
+                if count:
+                    print(f"unexpected violations: {db}/{scenario}"
+                          f"/{mode}: {count}", file=sys.stderr)
+                unexpected += count
+    _write_report(args, sweeps)
+    if args.strict and unexpected:
+        print(f"FAIL: {unexpected} unexpected violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_scale(args) -> int:
+    """Elasticity campaign: scale the cluster while it serves.  Every
+    cell records a Jepsen-style history across the topology change;
+    ``--strict`` fails the process if any cell shows a violation the
+    cell's consistency level does not already permit (the elasticity
+    safety contract: no acknowledged write lost to a bootstrap,
+    decommission or rebalance)."""
+    from repro.consistency.oracle import unexpected_violations
+    scale = QUICK_ELASTIC_SCALE if args.quick else ElasticScale()
+    modes = args.modes or list(SCALE_MODES)
+    scenarios = args.scenarios or list(ELASTIC_SCENARIOS)
+    sweeps: dict = {}
+    unexpected = 0
+    for db in args.dbs:
+        sweep = scale_sweep(db, scale, modes=modes, scenarios=scenarios,
+                            runner=_runner(args))
+        sweeps[db] = sweep
+        print(render_scale_sweep(db, sweep))
         print()
         for scenario in sweep:
             for mode, summary in sweep[scenario].items():
@@ -509,6 +551,22 @@ CAMPAIGNS: tuple[Campaign, ...] = (
                  _opt("--scenario", dest="scenarios", action="append",
                       choices=list(SURGE_SCENARIOS),
                       help="arrival scenario(s) to run (default: all)"),
+             ),
+             post_parse=_default_dbs),
+    Campaign("scale",
+             "elasticity campaign: live scale-out/in while serving, "
+             "oracle-checked across every topology change",
+             cmd_scale,
+             options=("quick", "dbs", "strict", "report", "jobs",
+                      "no_cache"),
+             extra=(
+                 _opt("--mode", dest="modes", action="append",
+                      choices=list(SCALE_MODES),
+                      help="scale mode(s) to compare: static control, "
+                           "manual schedule, autoscaler (default: all)"),
+                 _opt("--scenario", dest="scenarios", action="append",
+                      choices=list(ELASTIC_SCENARIOS),
+                      help="arrival shape(s) to run (default: all)"),
              ),
              post_parse=_default_dbs),
     Campaign("perf",

@@ -8,6 +8,7 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Optional
 
 from repro.cassandra.consistency import ConsistencyLevel
+from repro.cluster.elasticity import ElasticityConfig, ScaleEventSpec
 from repro.cluster.failure import FaultSpec
 from repro.storage.lsm import StorageSpec
 from repro.ycsb.workload import MICRO_WORKLOADS, STRESS_WORKLOADS, WorkloadSpec
@@ -17,15 +18,18 @@ __all__ = [
     "ArrivalConfig",
     "CassandraConfig",
     "ClientTierConfig",
+    "ElasticityConfig",
     "ExperimentConfig",
     "GeoConfig",
     "HBaseConfig",
+    "ScaleEventSpec",
     "TailDefenseConfig",
     "config_to_dict",
     "config_to_json",
     "default_check_config",
     "default_geo_config",
     "default_micro_config",
+    "default_scale_config",
     "default_stress_config",
     "default_surge_config",
 ]
@@ -171,6 +175,7 @@ class HBaseConfig:
     wal_sync: bool = False
     failure_detection_s: float = 3.0
     region_recovery_s: float = 2.0
+    region_move_s: float = 0.25
 
 
 @dataclass(frozen=True)
@@ -294,6 +299,13 @@ class ExperimentConfig:
     #: usual single-rack cluster.  When set, ``n_nodes`` must equal
     #: ``geo.total_nodes`` so the cell fingerprint stays honest.
     geo: Optional[GeoConfig] = None
+    #: Elasticity plan (``repro-bench scale``): provisions
+    #: ``elasticity.spare_nodes`` trailing servers outside the serving
+    #: set and describes how (if at all) a run scales the cluster.
+    #: ``None`` = the usual fixed-size deployment.  Only armed when the
+    #: caller runs the cell with scaling enabled, so one config serves
+    #: both the static control and the elastic runs.
+    elasticity: Optional[ElasticityConfig] = None
 
     def __post_init__(self) -> None:
         if self.db not in ("hbase", "cassandra"):
@@ -302,6 +314,16 @@ class ExperimentConfig:
             raise ValueError("record_count and operation_count must be >= 1")
         if self.n_nodes < 2:
             raise ValueError("need at least one server node plus the client")
+        if self.elasticity is not None:
+            if self.geo is not None:
+                raise ValueError("elasticity and geo are mutually "
+                                 "exclusive (scaling is single-ring)")
+            # n_nodes - 1 servers; spares must leave one in service.
+            if self.elasticity.spare_nodes >= self.n_nodes - 1:
+                raise ValueError(
+                    f"elasticity.spare_nodes={self.elasticity.spare_nodes} "
+                    f"must leave at least one in-service server "
+                    f"(n_nodes={self.n_nodes} has {self.n_nodes - 1} servers)")
         if self.geo is not None:
             if self.db != "cassandra":
                 raise ValueError("geo deployments support Cassandra only "
@@ -518,6 +540,58 @@ def default_surge_config(db: str,
             block_cache_bytes=max(64 * 1024, int(per_tree * 0.10))),
         clienttier=clienttier or ClientTierConfig(),
         arrivals=arrivals,
+    )
+
+
+def default_scale_config(db: str,
+                         elasticity: Optional[ElasticityConfig] = None,
+                         arrivals: Optional[ArrivalConfig] = None,
+                         record_count: int = 3_000,
+                         n_nodes: int = 8,
+                         seed: int = 42) -> ExperimentConfig:
+    """One elasticity cell (``repro-bench scale``).
+
+    A read-mostly open-loop cell on a small cluster whose *serving* set
+    is ``n_nodes - 1 - spare_nodes`` servers: the spares sit provisioned
+    but idle until a scale-out bootstraps (Cassandra) or activates
+    (HBase) them.  Storage is sized to the serving set, so the initial
+    members run close to their cache ceiling and added capacity is
+    visible in the latency profile — which is what the autoscaler's
+    breach/relax thresholds key on.
+    """
+    elasticity = elasticity or ElasticityConfig()
+    arrivals = arrivals or ArrivalConfig(process="diurnal", rate=800.0,
+                                         max_arrivals=8_000, period_s=20.0,
+                                         peak_factor=3.0)
+    serving = n_nodes - 1 - elasticity.spare_nodes
+    if serving < 1:
+        raise ValueError("spare_nodes must leave at least one server")
+    data = record_count * 1000
+    # Per-engine tree sizing (cf. the tail campaign): a Cassandra
+    # member's single tree holds RF x (data / serving), an HBase
+    # region's tree holds data / (serving x regions_per_server).
+    if db == "cassandra":
+        per_tree = data * 3 // max(1, serving)
+    else:
+        per_tree = data // max(1, serving * 2)
+    return ExperimentConfig(
+        db=db,
+        workload=STRESS_WORKLOADS["read_mostly"],
+        record_count=record_count,
+        operation_count=max(1_000, arrivals.max_arrivals // 4),
+        n_threads=16,
+        n_nodes=n_nodes,
+        seed=seed,
+        # Cache ~60% of a serving member's tree: the knee sits just
+        # past the base rate, so the peak of a diurnal cycle (or a
+        # flash crowd) pushes the initial members over it while the
+        # widened ring after a scale-out is comfortable again.
+        storage=StorageSpec(
+            memtable_flush_bytes=max(32 * 1024, per_tree // 8),
+            block_bytes=8 * 1024,
+            block_cache_bytes=max(64 * 1024, int(per_tree * 0.6))),
+        arrivals=arrivals,
+        elasticity=elasticity,
     )
 
 

@@ -24,6 +24,7 @@ from repro.cassandra.consistency import ConsistencyLevel
 from repro.cassandra.deployment import CassandraCluster, CassandraSpec
 from repro.clienttier.openloop import (ClientTier, OpenLoopClient,
                                        build_client_stack)
+from repro.cluster.elasticity import ScaleEngine, build_scale_report
 from repro.cluster.failure import FailureInjector, FaultSchedule
 from repro.cluster.topology import Cluster, ClusterSpec
 from repro.consistency.history import HistoryRecorder
@@ -37,6 +38,7 @@ from repro.sim.rng import RngRegistry
 from repro.ycsb.arrivals import UserSessions, make_arrivals
 from repro.ycsb.client import LoadResult, RunResult, YcsbClient
 from repro.ycsb.db import CassandraBinding, DbBinding, HBaseBinding
+from repro.ycsb.measurements import Measurements
 from repro.ycsb.workload import Workload, WorkloadSpec
 
 __all__ = ["ExperimentResult", "ExperimentSession", "run_experiment",
@@ -81,6 +83,8 @@ def summarize_run(result: "RunResult") -> dict:
         summary["goodput"] = result.throughput
     if result.clienttier is not None:
         summary["clienttier"] = result.clienttier
+    if result.scale is not None:
+        summary["scale"] = result.scale
     return summary
 
 
@@ -142,6 +146,10 @@ class ExperimentSession:
         driver_kwargs: dict = {}
         if config.clienttier.op_timeout_s is not None:
             driver_kwargs["op_timeout_s"] = config.clienttier.op_timeout_s
+        #: Trailing servers provisioned outside the serving set, the
+        #: elasticity campaign's scale-out pool (0 = classic layout).
+        spares = (config.elasticity.spare_nodes
+                  if config.elasticity is not None else 0)
         if config.db == "hbase":
             hc = config.hbase
             self.hbase = HBaseCluster(self.cluster, HBaseSpec(
@@ -151,8 +159,10 @@ class ExperimentSession:
                 wal_sync=hc.wal_sync,
                 failure_detection_s=hc.failure_detection_s,
                 region_recovery_s=hc.region_recovery_s,
+                region_move_s=hc.region_move_s,
                 handler_slots=tail.handler_slots,
                 max_handler_queue=tail.max_handler_queue,
+                spare_servers=spares,
             ))
             self.binding: DbBinding = HBaseBinding(
                 HBaseClient(self.hbase, self.client_node,
@@ -174,6 +184,7 @@ class ExperimentSession:
                 coordinator_max_inflight=tail.max_inflight,
                 replication_per_dc=(dict(config.geo.replication_per_dc)
                                     if config.geo is not None else None),
+                spare_nodes=spares,
             ))
             if config.geo is not None:
                 for dc in config.geo.client_datacenters:
@@ -274,7 +285,8 @@ class ExperimentSession:
                  check_consistency: bool = False,
                  adaptive: Optional[str] = None,
                  client_dc: Optional[str] = None,
-                 open_loop: bool = False) -> RunResult:
+                 open_loop: bool = False,
+                 scale: bool = False) -> RunResult:
         """Run one measured workload cell on the loaded deployment.
 
         With ``inject_faults`` the config's fault schedule is armed
@@ -312,6 +324,15 @@ class ExperimentSession:
         cache-served (possibly stale) reads are recorded and priced by
         the oracle.  ``n_threads``/``target_throughput``/
         ``warmup_fraction`` do not apply; ``adaptive`` is unsupported.
+
+        With ``scale`` the config's
+        :class:`~repro.core.config.ElasticityConfig` is armed relative
+        to the run's start: a :class:`~repro.cluster.elasticity.ScaleEngine`
+        adds/removes nodes mid-run (manual schedule or p95-driven
+        autoscaler), a read-your-writes probe runs alongside the
+        workload, and the result carries a
+        :func:`~repro.cluster.elasticity.build_scale_report` dict with
+        per-phase (before/during/after transfer) latency and staleness.
         """
         if not self._loaded:
             raise RuntimeError("call load() before run_cell()")
@@ -403,6 +424,13 @@ class ExperimentSession:
                                             policy, monitor)
             binding = controller
             session_cls = (active_session.read_cl, active_session.write_cl)
+        shared: Optional[Measurements] = None
+        if scale:
+            if self.config.elasticity is None:
+                raise ValueError("scale runs need config.elasticity")
+            # The autoscaler polls per-window p95 mid-run, so the engine
+            # and the client must share one live sample store.
+            shared = Measurements()
         if open_loop:
             arrival_cfg = self.config.arrivals
             assert arrival_cfg is not None  # checked above
@@ -423,7 +451,8 @@ class ExperimentSession:
                                          tier=tier)
             ops = arrival_cfg.max_arrivals
             target = arrival_cfg.rate
-            run_coro = open_client.run(ops, offered_rate=target)
+            run_coro = open_client.run(ops, offered_rate=target,
+                                       measurements=shared)
         else:
             client = YcsbClient(self.env, binding, runtime_workload,
                                 self.rngs.stream(f"client.run.{self.env.now}"),
@@ -437,7 +466,8 @@ class ExperimentSession:
                 target_throughput=target,
                 warmup_fraction=(1.0 if warmup_fraction is None
                                  else (warmup_fraction
-                                       or self.config.warmup_fraction)))
+                                       or self.config.warmup_fraction)),
+                measurements=shared)
         injector = probe = None
         run_started = self.env.now
         if inject_faults and self.config.faults:
@@ -446,6 +476,27 @@ class ExperimentSession:
                                                      base_s=run_started))
             probe = StalenessProbe(self.env, active_binding)
             self.env.process(probe.run(), name="staleness-probe")
+        engine: Optional[ScaleEngine] = None
+        pre_streams = pre_rebalances = pre_splits = 0
+        if scale:
+            deployment = self.hbase if self.hbase is not None \
+                else self.cassandra
+            engine = ScaleEngine(self.env, deployment,
+                                 self.config.elasticity,
+                                 measurements=shared)
+            engine.arm(run_started)
+            if probe is None:
+                # Scale runs always probe read-your-writes so the report
+                # can attribute staleness to the transfer windows.
+                probe = StalenessProbe(self.env, active_binding)
+                self.env.process(probe.run(), name="staleness-probe")
+            # Session-lifetime counters: snapshot so the report only
+            # covers this run's transfers.
+            if self.cassandra is not None:
+                pre_streams = len(self.cassandra.streams)
+            if self.hbase is not None:
+                pre_rebalances = len(self.hbase.master.rebalances)
+                pre_splits = len(self.hbase.splits)
         meter = EnergyMeter(self.cluster.nodes)
         meter.start()
         process = self.env.process(run_coro, name="run")
@@ -453,8 +504,11 @@ class ExperimentSession:
         result = replace(result, energy=meter.stop())
         if probe is not None:
             probe.stop()
+        if engine is not None:
+            engine.stop()
         self._settle()
-        if recorder is not None and (injector is not None or open_loop):
+        if recorder is not None and (injector is not None or open_loop
+                                     or engine is not None):
             # The convergence check needs a quiescent cluster; after a
             # fault campaign that includes waiting out hinted handoff
             # (see :meth:`_drain_hints`).  Open-loop overload manufactures
@@ -468,6 +522,18 @@ class ExperimentSession:
             result = replace(result, failover=build_failover_report(
                 result.measurements, injector.log,
                 target_throughput=target, expected_end=expected_end,
+                probe=probe))
+        if engine is not None:
+            streams = (self.cassandra.streams[pre_streams:]
+                       if self.cassandra is not None else ())
+            rebalances = (len(self.hbase.master.rebalances) - pre_rebalances
+                          if self.hbase is not None else 0)
+            splits = (len(self.hbase.splits) - pre_splits
+                      if self.hbase is not None else 0)
+            result = replace(result, scale=build_scale_report(
+                result.measurements, engine.log,
+                config=self.config.elasticity,
+                streams=streams, rebalances=rebalances, splits=splits,
                 probe=probe))
         if controller is not None:
             decisions = controller.summary()

@@ -8,7 +8,8 @@ __all__ = ["render_adaptive_sweep", "render_adaptive_timeline",
            "render_geo_sweep",
            "render_check_report", "render_consistency_sweep",
            "render_failover_sweep", "render_failover_timeline",
-           "render_micro_sweep", "render_progress", "render_series",
+           "render_micro_sweep", "render_progress", "render_scale_sweep",
+           "render_series",
            "render_stress_sweep", "render_surge_sweep", "render_table",
            "render_tail_sweep"]
 
@@ -209,6 +210,52 @@ def render_surge_sweep(db: str, sweep: dict) -> str:
         headers, rows,
         title=f"Flash-crowd survival ({db}): offered vs goodput and "
               "refusal breakdown per defense stack")
+
+
+def _phase_cell(phases: dict, name: str) -> str:
+    """``p95/ops`` for one transfer phase; ``-`` when it saw no traffic."""
+    stats = phases.get(name) or {}
+    if not stats.get("ops"):
+        return "-"
+    return f"{stats['p95_ms']:.1f}/{stats['ops']}"
+
+
+def render_scale_sweep(db: str, sweep: dict) -> str:
+    """Elasticity table, one row per (arrival scenario, scale mode).
+
+    ``sweep`` is :func:`repro.core.sweep.scale_sweep` output.  The
+    before/during/after columns cut each run's latency by the engine's
+    transfer windows (``p95 ms/ops``), so the cost of the move itself
+    and the payoff once the new node serves read side by side against
+    the static control; the transfer columns say what the move was
+    (bytes streamed into a Cassandra joiner, regions rebalanced onto an
+    HBase server) and the stale/violation columns price its safety.
+    """
+    headers = ["scenario", "mode", "offered", "goodput/s", "actions",
+               "xfer s", "streamed B", "moves",
+               "before p95/ops", "during p95/ops", "after p95/ops",
+               "stale", "viol"]
+    rows = []
+    for scenario in sweep:
+        for mode, summary in sweep[scenario].items():
+            report = summary.get("scale") or {}
+            phases = report.get("phases", {})
+            cons = summary.get("consistency")
+            moves = report.get("rebalances", 0) + report.get("splits", 0)
+            rows.append([
+                scenario, mode, summary.get("offered", summary["ops"]),
+                summary["throughput"],
+                report.get("actions", 0),
+                f"{report.get('transfer_s', 0.0):.2f}",
+                report.get("streamed_bytes", 0), moves,
+                _phase_cell(phases, "before"), _phase_cell(phases, "during"),
+                _phase_cell(phases, "after"),
+                report.get("stale_reads", 0),
+                "-" if cons is None else cons["violations"]])
+    return render_table(
+        headers, rows,
+        title=f"Elasticity ({db}): per-phase latency across live "
+              "scale-out/in, vs the static control")
 
 
 def render_geo_sweep(sweep: dict) -> str:

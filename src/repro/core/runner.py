@@ -63,7 +63,9 @@ __all__ = [
 #: reports gained ``client_dc``, fault specs gained ``datacenter``.
 #: "7": open-loop client tier — RunSpec gained ``open_loop``, summaries
 #: may carry ``offered``/``goodput`` and a ``clienttier`` breakdown.
-RESULT_VERSION = "7"
+#: "8": elasticity — RunSpec gained ``scale``, configs may carry an
+#: ``elasticity`` plan, summaries may carry a per-phase ``scale`` report.
+RESULT_VERSION = "8"
 
 #: Environment override for the cell-cache directory.
 CACHE_ENV_VAR = "REPRO_CELL_CACHE"
@@ -108,6 +110,10 @@ class RunSpec:
     #: :class:`~repro.core.config.ArrivalConfig`, defenses from its
     #: :class:`~repro.core.config.ClientTierConfig`.
     open_loop: bool = False
+    #: Arm the config's :class:`~repro.core.config.ElasticityConfig` for
+    #: this run and attach a per-phase scale report to its summary
+    #: (``repro-bench scale``).
+    scale: bool = False
 
 
 @dataclass(frozen=True)
@@ -181,7 +187,8 @@ def execute_cell(spec: CellSpec) -> dict:
             check_consistency=run.check,
             adaptive=run.adaptive,
             client_dc=run.client_dc,
-            open_loop=run.open_loop)
+            open_loop=run.open_loop,
+            scale=run.scale)
         if run.measured:
             runs.append(summarize_run(result))
     payload: dict = {"runs": runs}

@@ -24,6 +24,7 @@ from typing import Optional, Sequence
 
 from repro.adaptive.policy import ADAPTIVE_POLICIES
 from repro.cassandra.consistency import ConsistencyLevel
+from repro.cluster.elasticity import SCALE_MODES
 from repro.cluster.failure import FaultSpec
 # Imported here (not in repro.consistency's package init) so the sweep
 # layer exposes every campaign entrypoint while the consistency package
@@ -37,10 +38,13 @@ from repro.core.config import (AdaptiveConfig,
                                ArrivalConfig,
                                CassandraConfig,
                                ClientTierConfig,
+                               ElasticityConfig,
                                ExperimentConfig,
+                               ScaleEventSpec,
                                TailDefenseConfig,
                                default_geo_config,
                                default_micro_config,
+                               default_scale_config,
                                default_stress_config,
                                default_surge_config,
                                scaled_stress_storage)
@@ -54,6 +58,8 @@ __all__ = [
     "CHECK_CL_MODES",
     "CONSISTENCY_MODES",
     "CheckScale",
+    "ELASTIC_SCENARIOS",
+    "ElasticScale",
     "FAILOVER_CL_MODES",
     "FailoverScale",
     "GEO_CL_MODES",
@@ -62,10 +68,12 @@ __all__ = [
     "MICRO_OP_ORDER",
     "QUICK_ADAPTIVE_SCALE",
     "QUICK_CHECK_SCALE",
+    "QUICK_ELASTIC_SCALE",
     "QUICK_FAILOVER_SCALE",
     "QUICK_GEO_SCALE",
     "QUICK_SURGE_SCALE",
     "QUICK_TAIL_SCALE",
+    "SCALE_MODES",
     "STRESS_WORKLOAD_ORDER",
     "SURGE_MODES",
     "SURGE_SCENARIOS",
@@ -79,12 +87,16 @@ __all__ = [
     "check_cells",
     "check_sweep",
     "consistency_stress_sweep",
+    "elastic_arrivals",
+    "elasticity_for_mode",
     "failover_cells",
     "failover_sweep",
     "geo_cells",
     "geo_sweep",
     "replication_micro_sweep",
     "replication_stress_sweep",
+    "scale_cells",
+    "scale_sweep",
     "surge_arrivals",
     "surge_cells",
     "surge_sweep",
@@ -748,6 +760,172 @@ def surge_sweep(db: str, scale: Optional[SurgeScale] = None,
     """
     scale = scale or SurgeScale()
     cells = surge_cells(db, scale, modes, scenarios)
+    out: dict = {}
+    for cell, payload in zip(cells, _run(cells, runner)):
+        scenario, mode = cell.key
+        out.setdefault(scenario, {})[mode] = payload["runs"][0]
+    return out
+
+
+# -- Elasticity campaigns: db x scale mode x arrival shape ------------------
+
+#: Arrival shapes the elasticity campaign scales under: a diurnal ramp
+#: (the canonical autoscaler workload — load climbs predictably into a
+#: busy period) and a flash crowd (the shape that punishes slow
+#: reactions: by the time a bootstrap finishes streaming, the spike may
+#: already be over).
+ELASTIC_SCENARIOS = ("diurnal", "flash_crowd")
+
+
+@dataclass(frozen=True)
+class ElasticScale:
+    """Scale knobs for elasticity campaigns (``repro-bench scale``).
+
+    Every mode — ``static`` (the control), ``manual`` (operator-
+    scheduled scale-out) and ``auto`` (p95-driven policy loop) — runs
+    on identical hardware: the spares are provisioned in all three, so
+    a latency difference is the scaling *decision's* doing, never the
+    fleet size's.
+    """
+
+    record_count: int = 3_000
+    #: Machines including the client; ``spare_nodes`` of the servers
+    #: start outside the serving set.
+    n_nodes: int = 8
+    spare_nodes: int = 1
+    #: Steady (base) arrival rate, arrivals/s.
+    base_rate: float = 700.0
+    max_arrivals: int = 12_000
+    n_users: int = 100_000
+    n_tenants: int = 8
+    #: Diurnal shape: one full cycle, trough -> peak -> trough.  The
+    #: process starts at the trough (near-silent for peak factors >= 2),
+    #: so the busy period lands mid-run.
+    period_s: float = 16.0
+    peak_factor: float = 3.0
+    #: Flash-crowd shape.
+    spike_at_s: float = 4.0
+    spike_factor: float = 6.0
+    spike_duration_s: float = 6.0
+    #: Manual mode: when the operator scales out, relative to the run's
+    #: start — inside the busy window for both shapes.
+    manual_at_s: float = 5.0
+    #: Autoscaler policy (see :class:`repro.core.config.ElasticityConfig`).
+    window_s: float = 0.5
+    p95_breach_ms: float = 60.0
+    breach_windows: int = 2
+    #: Scale-in threshold.  Campaign cells serve from a bimodal latency
+    #: mix (sub-ms cache hits vs ~10 ms disk reads), so the relax bar
+    #: sits below the cache-hit floor: a window only counts as idle when
+    #: *everything* in it was trivial — a lull, not a healthy mix.
+    p95_relax_ms: float = 0.5
+    idle_windows: int = 8
+    cooldown_s: float = 6.0
+    seed: int = 42
+
+
+#: Fast settings for tests, the CI scale smoke, and --quick campaigns.
+#: Arrivals are sized so several seconds of traffic land *after* the
+#: transfer finishes — the "after" phase the recovery claim is read from.
+QUICK_ELASTIC_SCALE = ElasticScale(record_count=1_200, n_nodes=6,
+                                   base_rate=500.0, max_arrivals=6_000,
+                                   period_s=10.0, spike_at_s=2.5,
+                                   spike_duration_s=4.0, manual_at_s=4.0,
+                                   cooldown_s=4.0)
+
+
+def elastic_arrivals(scenario: str, scale: ElasticScale) -> ArrivalConfig:
+    """The arrival process an elasticity scenario offers."""
+    if scenario == "diurnal":
+        return ArrivalConfig(process="diurnal", rate=scale.base_rate,
+                             max_arrivals=scale.max_arrivals,
+                             n_users=scale.n_users,
+                             n_tenants=scale.n_tenants,
+                             period_s=scale.period_s,
+                             peak_factor=scale.peak_factor)
+    if scenario == "flash_crowd":
+        return ArrivalConfig(process="flash_crowd", rate=scale.base_rate,
+                             max_arrivals=scale.max_arrivals,
+                             n_users=scale.n_users,
+                             n_tenants=scale.n_tenants,
+                             spike_at_s=scale.spike_at_s,
+                             spike_factor=scale.spike_factor,
+                             spike_duration_s=scale.spike_duration_s)
+    raise ValueError(f"unknown elasticity scenario {scenario!r}; "
+                     f"choose from {ELASTIC_SCENARIOS}")
+
+
+def elasticity_for_mode(mode: str, scale: ElasticScale) -> ElasticityConfig:
+    """The elasticity plan a campaign mode arms.
+
+    All three modes provision the same spares; they differ only in who
+    (if anyone) decides to use them.
+    """
+    return ElasticityConfig(
+        mode=mode,
+        spare_nodes=scale.spare_nodes,
+        events=(ScaleEventSpec(action="out", at_s=scale.manual_at_s),),
+        window_s=scale.window_s,
+        p95_breach_ms=scale.p95_breach_ms,
+        breach_windows=scale.breach_windows,
+        p95_relax_ms=scale.p95_relax_ms,
+        idle_windows=scale.idle_windows,
+        cooldown_s=scale.cooldown_s)
+
+
+def scale_cells(db: str, scale: ElasticScale,
+                modes: Sequence[str] = SCALE_MODES,
+                scenarios: Sequence[str] = ELASTIC_SCENARIOS
+                ) -> list[CellSpec]:
+    """One open-loop cell per (scenario, scale mode).
+
+    Every cell records a Jepsen-style history for the oracle: the
+    elasticity safety contract — no acknowledged write lost across a
+    bootstrap/decommission/rebalance — is checked *through* the
+    topology change, not just asserted by unit tests.  Cassandra cells
+    run at QUORUM/QUORUM (pending double-writes must preserve the
+    quorum guarantee mid-stream); HBase's single-master model is strong
+    by construction.
+    """
+    cells = []
+    for scenario in scenarios:
+        for mode in modes:
+            if mode not in SCALE_MODES:
+                raise ValueError(f"unknown scale mode {mode!r}; "
+                                 f"choose from {SCALE_MODES}")
+            config = default_scale_config(
+                db, elasticity=elasticity_for_mode(mode, scale),
+                arrivals=elastic_arrivals(scenario, scale),
+                record_count=scale.record_count, n_nodes=scale.n_nodes,
+                seed=scale.seed)
+            cassandra = db == "cassandra"
+            run = RunSpec(workload="read_mostly", open_loop=True,
+                          read_cl="QUORUM" if cassandra else None,
+                          write_cl="QUORUM" if cassandra else None,
+                          check=True, scale=True)
+            cells.append(CellSpec(
+                key=(scenario, mode),
+                label=f"scale/{db}/{scenario}/{mode}",
+                config=config,
+                runs=(run,),
+                warm=WarmSpec(operations=max(1_000,
+                                             scale.max_arrivals // 6))))
+    return cells
+
+
+def scale_sweep(db: str, scale: Optional[ElasticScale] = None,
+                modes: Sequence[str] = SCALE_MODES,
+                scenarios: Sequence[str] = ELASTIC_SCENARIOS,
+                runner: Optional[CellRunner] = None) -> dict:
+    """Elasticity campaign: db x scale mode x arrival shape.
+
+    Returns ``{scenario: {mode: summary}}`` where each summary carries
+    the per-phase (before / during / after transfer) latency + staleness
+    ``scale`` report, the usual open-loop offered/goodput pair, and the
+    oracle's ``consistency`` verdict across the topology change.
+    """
+    scale = scale or ElasticScale()
+    cells = scale_cells(db, scale, modes, scenarios)
     out: dict = {}
     for cell, payload in zip(cells, _run(cells, runner)):
         scenario, mode = cell.key

@@ -9,8 +9,9 @@ from repro.cluster.node import Node
 from repro.cluster.topology import (Cluster, DEFAULT_CLIENT_OVERHEAD_S,
                                     DeadlineExceeded, DeadNodeError,
                                     RpcTimeout)
-from repro.keyspace import key_for_token, token_of
+from repro.keyspace import KEY_DOMAIN, key_for_token, token_of
 from repro.hbase.deployment import HBaseCluster
+from repro.hbase.regionserver import NotServingRegion
 from repro.sim.kernel import AnyOf
 from repro.sim.resources import Overloaded
 
@@ -89,10 +90,12 @@ class HBaseClient:
             timeout=self.op_timeout_s)
 
     def _call_region(self, region_id: int, verb: str, payload: Any,
-                     request_bytes: int, response_bytes: int) -> Generator:
+                     request_bytes: int, response_bytes: int,
+                     token: Optional[int] = None) -> Generator:
         env = self.cluster.env
         deadline = (env.now + self.deadline_s
                     if self.deadline_s is not None else None)
+        base = payload
         if deadline is not None:
             payload = (*payload, deadline)
         last_error: Optional[Exception] = None
@@ -110,6 +113,17 @@ class HBaseClient:
                     delay = min(delay, remaining)
                 yield env.timeout(delay)
                 yield from self._refresh_assignment()
+                if token is not None:
+                    # The region may have split since the last attempt
+                    # (NotServingRegion): re-resolve and re-address.
+                    region_id = self.hbase.region_for_token(token).region_id
+                    payload = (region_id, *base[1:])
+                    if deadline is not None:
+                        payload = (*payload, deadline)
+            if region_id not in self._assignment:
+                # A region born after our last META refresh (split
+                # daughter / newly activated server).
+                yield from self._refresh_assignment()
             try:
                 result = yield from self._attempt(
                     region_id, verb, payload, request_bytes, response_bytes,
@@ -119,7 +133,8 @@ class HBaseClient:
             except DeadlineExceeded:
                 # The end-to-end budget covers retries; it is spent.
                 raise
-            except (RpcTimeout, DeadNodeError, Overloaded) as exc:
+            except (RpcTimeout, DeadNodeError, Overloaded,
+                    NotServingRegion) as exc:
                 last_error = exc
         raise RpcTimeout(f"{verb} on region {region_id} failed after "
                          f"{self.max_retries} retries") from last_error
@@ -191,38 +206,54 @@ class HBaseClient:
 
     def put(self, key: str, value: Any, size: int) -> Generator:
         """Insert or update one row."""
-        region = self.hbase.region_for_token(token_of(key))
+        token = token_of(key)
+        region = self.hbase.region_for_token(token)
         payload = (region.region_id, key, value, size,
                    self.cluster.env.now)
         result = yield from self._call_region(
             region.region_id, "rs.put", payload,
-            request_bytes=size + 60, response_bytes=20)
+            request_bytes=size + 60, response_bytes=20, token=token)
         return result
 
     def get(self, key: str, expected_bytes: int = 1024) -> Generator:
         """Read one row; returns ``(value, timestamp)`` or None."""
-        region = self.hbase.region_for_token(token_of(key))
+        token = token_of(key)
+        region = self.hbase.region_for_token(token)
         result = yield from self._call_region(
             region.region_id, "rs.get", (region.region_id, key),
-            request_bytes=60, response_bytes=expected_bytes)
+            request_bytes=60, response_bytes=expected_bytes, token=token)
         return result
 
     def scan(self, start_key: str, limit: int,
              record_bytes: int = 1024) -> Generator:
-        """Range scan from ``start_key``, possibly spanning regions."""
+        """Range scan from ``start_key``, possibly spanning regions.
+
+        Walks regions in *token* order (a split inserts its daughter
+        mid-list, so region-id order no longer matches key order).
+        """
         rows: list[tuple[str, Any, float]] = []
-        region = self.hbase.region_for_token(token_of(start_key))
+        cursor_token = token_of(start_key)
         cursor = start_key
         while True:
+            region = self.hbase.region_for_token(cursor_token)
             remaining = limit - len(rows)
             batch = yield from self._call_region(
                 region.region_id, "rs.scan",
                 (region.region_id, cursor, remaining),
-                request_bytes=70, response_bytes=record_bytes * remaining)
+                request_bytes=70, response_bytes=record_bytes * remaining,
+                token=cursor_token)
+            if rows and batch:
+                # A split between batches can shrink the previous
+                # region after it answered; never re-emit keys already
+                # returned by the earlier (wider) batch.
+                last = rows[-1][0]
+                batch = [r for r in batch if r[0] > last]
             rows.extend(batch)
-            next_index = region.region_id + 1
-            if len(rows) >= limit or next_index >= len(self.hbase.regions):
+            # The region object's bounds are live (a concurrent split
+            # shrinks them), so its current end is the exact resume point.
+            next_token = region.end_token
+            if len(rows) >= limit or next_token >= KEY_DOMAIN:
                 break
-            region = self.hbase.regions[next_index]
-            cursor = key_for_token(region.start_token)
+            cursor_token = next_token
+            cursor = key_for_token(next_token)
         return rows[:limit]

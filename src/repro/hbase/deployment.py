@@ -7,8 +7,9 @@ DataNode.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Generator, Optional
 
 from repro.cluster.topology import Cluster
 from repro.keyspace import KEY_DOMAIN
@@ -35,6 +36,11 @@ class HBaseSpec:
     wal_sync: bool = False
     failure_detection_s: float = 3.0
     region_recovery_s: float = 2.0
+    #: Unavailability per *planned* region move (rebalance, activate,
+    #: decommission, split): a graceful close flushes the MemStore and
+    #: reopens on the target, so there is no WAL to replay — a
+    #: sub-second window where crash failover pays ``region_recovery_s``.
+    region_move_s: float = 0.25
     #: Concurrent RPC handlers per RegionServer (hbase.regionserver
     #: .handler.count analogue).  Only enforced when
     #: ``max_handler_queue`` is set.
@@ -43,6 +49,9 @@ class HBaseSpec:
     #: :class:`~repro.sim.resources.Overloaded`.  ``None`` = unbounded
     #: (the pre-defense behaviour).
     max_handler_queue: Optional[int] = None
+    #: Trailing server nodes provisioned but out of service (no initial
+    #: regions); the elasticity campaign activates them at runtime.
+    spare_servers: int = 0
 
 
 class HBaseCluster:
@@ -69,19 +78,36 @@ class HBaseCluster:
                 handler_slots=spec.handler_slots,
                 max_handler_queue=spec.max_handler_queue)
 
+        if not 0 <= spec.spare_servers < len(self.server_nodes):
+            raise ValueError("spare_servers must leave at least one "
+                             "in-service RegionServer")
+        spare_ids = [n.node_id for n in
+                     self.server_nodes[len(self.server_nodes)
+                                       - spec.spare_servers:]]
+
         self.regions = self._presplit()
+        #: Region start tokens, parallel to ``regions`` (kept sorted by
+        #: ``_reindex`` as splits add daughters).
+        self._starts: list[int] = []
+        self._reindex()
+        #: (time, parent_region_id, daughter_region_id) per split.
+        self.splits: list[tuple[float, int, int]] = []
         self.master = HMaster(cluster, self.master_node, self.regionservers,
                               self.regions,
                               detection_s=spec.failure_detection_s,
-                              recovery_s=spec.region_recovery_s)
-        servers = list(self.regionservers.values())
+                              recovery_s=spec.region_recovery_s,
+                              move_s=spec.region_move_s,
+                              standby=spare_ids)
+        servers = [s for nid, s in sorted(self.regionservers.items())
+                   if nid not in spare_ids]
         for i, region in enumerate(self.regions):
             server = servers[i % len(servers)]
             region.open_on(server, spec.storage)
             self.master.assign(region, server)
 
     def _presplit(self) -> list[Region]:
-        n_regions = len(self.server_nodes) * self.spec.regions_per_server
+        n_servers = len(self.server_nodes) - self.spec.spare_servers
+        n_regions = n_servers * self.spec.regions_per_server
         step = KEY_DOMAIN // n_regions
         regions = []
         for i in range(n_regions):
@@ -90,12 +116,60 @@ class HBaseCluster:
             regions.append(Region(i, start, end))
         return regions
 
+    def _reindex(self) -> None:
+        self.regions.sort(key=lambda r: r.start_token)
+        self._starts = [r.start_token for r in self.regions]
+
     def region_for_token(self, token: int) -> Region:
-        """The region owning ``token`` (direct index into the even pre-split)."""
-        index = min(token * len(self.regions) // KEY_DOMAIN,
-                    len(self.regions) - 1)
+        """The region owning ``token`` (bisect over the sorted starts)."""
+        index = bisect.bisect_right(self._starts, token) - 1
         region = self.regions[index]
-        # Pre-split is uniform, so direct indexing is correct; assert in
-        # case a future split policy changes that.
         assert region.contains(token), (token, region)
         return region
+
+    # -- elasticity --------------------------------------------------------
+
+    def scale_out_candidate(self) -> Optional[int]:
+        """The standby server a scale-out would activate (lowest id)."""
+        standby = sorted(nid for nid in self.master.standby
+                         if self.cluster.node(nid).alive)
+        return standby[0] if standby else None
+
+    def scale_in_candidate(self) -> Optional[int]:
+        """The server a scale-in would drain (highest live id), or
+        ``None`` when only one in-service server would remain."""
+        active = sorted(nid for nid, s in self.regionservers.items()
+                        if s.node.alive and nid not in self.master.standby)
+        return active[-1] if len(active) > 1 else None
+
+    def apply_scale_out(self, node_id: int) -> Generator:
+        """Activate a standby server; regions rebalanced onto it pay the
+        graceful close/reopen window before the transfer counts as done."""
+        self.master.activate(node_id)
+        yield self.cluster.env.timeout(self.spec.region_move_s)
+
+    def apply_scale_in(self, node_id: int) -> Generator:
+        """Drain a server back to standby (same move accounting)."""
+        self.master.decommission(node_id)
+        yield self.cluster.env.timeout(self.spec.region_move_s)
+
+    def split_region(self, region: Region) -> Region:
+        """Split ``region`` at its midpoint token; returns the daughter.
+
+        The daughter opens on the same server (real HBase moves it only
+        when the balancer later decides to) and both halves pay the
+        graceful close/reopen window (``region_move_s``).
+        """
+        daughter_id = max(r.region_id for r in self.regions) + 1
+        daughter = region.split(daughter_id, self.spec.storage)
+        self.regions.append(daughter)
+        self._reindex()
+        server = self.regionservers[region.medium.server.node.node_id]
+        self.master.regions[daughter.region_id] = daughter
+        self.master.assign(daughter, server)
+        now = self.cluster.env.now
+        until = now + self.spec.region_move_s
+        region.available_at = max(region.available_at, until)
+        daughter.available_at = max(daughter.available_at, until)
+        self.splits.append((now, region.region_id, daughter.region_id))
+        return daughter

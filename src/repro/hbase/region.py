@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.cluster.disk import BACKGROUND, FOREGROUND
+from repro.keyspace import key_for_token
 from repro.storage.lsm import LsmTree, StorageSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -75,6 +76,30 @@ class Region:
         self.medium = RegionMedium(server)
         self.tree = LsmTree(server.node.env, server.node, self.medium, spec,
                             name=f"region{self.region_id}")
+
+    def split(self, daughter_id: int, spec: StorageSpec) -> "Region":
+        """Split at the midpoint token; returns the new top-half daughter.
+
+        The parent shrinks to ``[start, mid)`` and the daughter opens on
+        the same server with ``[mid, end)``.  Like real HBase, no data is
+        copied at split time: the daughter adopts the top-half entries as
+        a reference run and the parent's stores filter them out until the
+        next compaction rewrites both sides (see
+        :meth:`~repro.storage.lsm.LsmTree.drop_range`).
+        """
+        if self.end_token - self.start_token < 2:
+            raise ValueError(f"region {self.region_id} too small to split")
+        assert self.tree is not None and self.medium is not None
+        mid = self.start_token + (self.end_token - self.start_token) // 2
+        daughter = Region(daughter_id, mid, self.end_token)
+        self.end_token = mid
+        server = self.medium.server
+        daughter.open_on(server, spec)
+        split_key = key_for_token(mid)
+        top = [e for e in self.tree.snapshot_entries() if e[0] >= split_key]
+        daughter.tree.ingest_run(top)
+        self.tree.drop_range(split_key)
+        return daughter
 
     def move_to(self, server: "RegionServer", recovery_s: float) -> None:
         """Reassign to ``server`` (failover): same data, new home.

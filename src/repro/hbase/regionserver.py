@@ -9,13 +9,23 @@ from repro.cluster.topology import DeadlineExceeded
 from repro.hdfs.block import DfsFile
 from repro.hdfs.client import WAL_SEGMENT_BYTES, DfsClient
 from repro.hbase.region import Region
+from repro.keyspace import token_of
 from repro.sim.kernel import AnyOf, Environment, Event
 from repro.sim.resources import BoundedResource, Resource
 
-__all__ = ["GroupCommitWal", "RegionServer"]
+__all__ = ["GroupCommitWal", "NotServingRegion", "RegionServer"]
 
 #: CPU charged per request on the RegionServer (handler bookkeeping).
 _HANDLER_CPU_S = 1.2e-5
+
+
+class NotServingRegion(Exception):
+    """The addressed region is not here, or no longer covers the key.
+
+    HBase's ``NotServingRegionException``: the client's META cache is
+    stale (the region moved, or a split shrank it); the client refreshes
+    its region map and retries against the current owner.
+    """
 
 
 class GroupCommitWal:
@@ -105,10 +115,17 @@ class RegionServer:
         node.register("rs.get", self._handle_get)
         node.register("rs.scan", self._handle_scan)
 
-    def _region(self, region_id: int) -> Region:
+    def _region(self, region_id: int, key: Optional[str] = None) -> Region:
         region = self.regions.get(region_id)
         if region is None:
-            raise KeyError(f"region {region_id} not on server {self.node.node_id}")
+            raise NotServingRegion(
+                f"region {region_id} not on server {self.node.node_id}")
+        if key is not None and not region.contains(token_of(key)):
+            # A split shrank the region after the client resolved it —
+            # applying the op here would strand the write outside the
+            # range readers are routed to.
+            raise NotServingRegion(
+                f"region {region_id} no longer covers key {key!r}")
         return region
 
     def _wait_available(self, region: Region) -> Generator:
@@ -150,7 +167,7 @@ class RegionServer:
     def _handle_put(self, payload) -> Generator:
         region_id, key, value, size, timestamp, *rest = payload
         deadline = rest[0] if rest else None
-        region = self._region(region_id)
+        region = self._region(region_id, key)
         slot = yield from self._acquire_slot(deadline)
         try:
             yield from self._wait_available(region)
@@ -166,7 +183,7 @@ class RegionServer:
     def _handle_get(self, payload) -> Generator:
         region_id, key, *rest = payload
         deadline = rest[0] if rest else None
-        region = self._region(region_id)
+        region = self._region(region_id, key)
         slot = yield from self._acquire_slot(deadline)
         try:
             yield from self._wait_available(region)
@@ -180,7 +197,7 @@ class RegionServer:
     def _handle_scan(self, payload) -> Generator:
         region_id, start_key, limit, *rest = payload
         deadline = rest[0] if rest else None
-        region = self._region(region_id)
+        region = self._region(region_id, start_key)
         slot = yield from self._acquire_slot(deadline)
         try:
             yield from self._wait_available(region)

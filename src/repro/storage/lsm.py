@@ -20,7 +20,8 @@ from repro.cluster.disk import BACKGROUND, FOREGROUND
 from repro.cluster.node import Node
 from repro.sim.kernel import Environment, Timeout
 from repro.storage.cache import BlockCache
-from repro.storage.compaction import merge_tables, pick_compaction
+from repro.storage.compaction import (merge_tables, pick_compaction,
+                                      pick_leveled_compaction)
 from repro.storage.memtable import Memtable
 from repro.storage.sstable import SSTable
 from repro.storage.wal import WriteAheadLog
@@ -100,6 +101,10 @@ class StorageSpec:
     #: Size-tiered compaction: trigger threshold and batch bounds.
     compaction_min_batch: int = 4
     compaction_max_batch: int = 10
+    #: "size_tiered" (STCS: batch similar-sized runs) or "leveled"
+    #: (LCS analogue: merge each new run into the older runs it
+    #: overlaps — fewer runs per read, more write amplification).
+    compaction_strategy: str = "size_tiered"
     #: Synchronous log appends (durability ablation; both systems default
     #: to buffered appends with periodic sync).
     wal_sync_each_append: bool = False
@@ -130,6 +135,11 @@ class LsmTree:
         #: Immutable runs, newest first.
         self.sstables: list[SSTable] = []
         self._compacting = False
+        #: Keys >= this bound were handed to a split daughter: existing
+        #: runs keep them physically (HBase reference-file semantics)
+        #: but every logical view filters them out, and the next
+        #: flush/compaction rewrites without them.
+        self._drop_from: Optional[str] = None
         self.stats = {"puts": 0, "gets": 0, "scans": 0, "flushes": 0,
                       "compactions": 0, "block_reads": 0}
 
@@ -170,6 +180,11 @@ class LsmTree:
                 self.spec.cpu_flush_per_entry_s * len(entries))
             total = sum(e[3] for e in entries)
             handle = yield from self.medium.write_run(total)
+            # A split may have landed between freeze and here; the run
+            # is written (the bytes moved) but handed-off keys stay out
+            # of the logical table.
+            entries = self._live_entries(entries)
+        if entries:
             table = SSTable(entries, self.spec.block_bytes,
                             self.spec.bloom_fp_rate)
             table.file_handle = handle
@@ -209,6 +224,8 @@ class LsmTree:
         the same core reservation (see :meth:`put`).
         """
         self.stats["gets"] += 1
+        if self._drop_from is not None and key >= self._drop_from:
+            return None
         yield from self.node.cpu_work(extra_cpu_s + self.spec.cpu_get_s)
         best: Optional[tuple[Any, float]] = None
         for memtable in [self.active, *self.flushing]:
@@ -244,7 +261,9 @@ class LsmTree:
                 existing = merged.get(key)
                 if existing is None or ts > existing[1]:
                     merged[key] = (value, ts)
-        picked = sorted(merged)[:limit]
+        live = (merged if self._drop_from is None
+                else [k for k in merged if k < self._drop_from])
+        picked = sorted(live)[:limit]
         yield from self.node.cpu_work(
             self.spec.cpu_scan_per_entry_s * max(len(merged), 1))
         return [(k, merged[k][0], merged[k][1]) for k in picked]
@@ -254,8 +273,16 @@ class LsmTree:
     def _maybe_compact(self) -> None:
         if self._compacting:
             return
-        batch = pick_compaction(self.sstables, self.spec.compaction_min_batch,
-                                self.spec.compaction_max_batch)
+        if self.spec.compaction_strategy == "leveled":
+            batch = pick_leveled_compaction(self.sstables,
+                                            self.spec.compaction_max_batch)
+        elif self.spec.compaction_strategy == "size_tiered":
+            batch = pick_compaction(self.sstables,
+                                    self.spec.compaction_min_batch,
+                                    self.spec.compaction_max_batch)
+        else:
+            raise ValueError("unknown compaction strategy "
+                             f"{self.spec.compaction_strategy!r}")
         if batch:
             self._compacting = True
             self.env.process(self._compact(batch), name=f"{self.name}-compact")
@@ -266,25 +293,83 @@ class LsmTree:
         for t in oldest_first:
             yield from self.medium.read_run(
                 t.size_bytes, getattr(t, "file_handle", None))
-        entries = merge_tables(oldest_first)
+        entries = self._live_entries(merge_tables(oldest_first))
         yield from self.node.cpu_work(
             self.spec.cpu_compact_per_entry_s * max(len(entries), 1))
-        total_out = sum(e[3] for e in entries)
-        handle = yield from self.medium.write_run(total_out)
-        merged = SSTable(entries, self.spec.block_bytes,
-                         self.spec.bloom_fp_rate)
-        merged.file_handle = handle
-        self._cache_written_blocks(merged)
+        merged: Optional[SSTable] = None
+        if entries:
+            total_out = sum(e[3] for e in entries)
+            handle = yield from self.medium.write_run(total_out)
+            merged = SSTable(entries, self.spec.block_bytes,
+                             self.spec.bloom_fp_rate)
+            merged.file_handle = handle
+            self._cache_written_blocks(merged)
         # Replace the batch at the position of its newest member.
-        position = min(self.sstables.index(t) for t in batch)
+        positions = [i for i, t in enumerate(self.sstables) if t in batch]
+        position = min(positions) if positions else 0
         survivors = [t for t in self.sstables if t not in batch]
-        survivors.insert(min(position, len(survivors)), merged)
+        if merged is not None:
+            survivors.insert(min(position, len(survivors)), merged)
         self.sstables = survivors
         for table in batch:
             self.cache.evict_sstable(table.sstable_id)
         self.stats["compactions"] += 1
         self._compacting = False
         self._maybe_compact()
+
+    # -- elasticity (split hand-off and streamed ingest) -----------------
+
+    def _live_entries(self, entries):
+        """Filter out keys handed to a split daughter (see ``drop_range``)."""
+        if self._drop_from is None:
+            return entries
+        bound = self._drop_from
+        return [e for e in entries if e[0] < bound]
+
+    def snapshot_entries(self) -> list[tuple[str, Any, float, int]]:
+        """Newest live version of every entry, in key order.
+
+        Logical (no I/O charged): callers model the physical transfer
+        themselves — region splits hand references over for free, range
+        streaming charges bulk disk/NIC I/O for the bytes it ships.
+        """
+        merged: dict[str, tuple[Any, float, int]] = {}
+        for table in reversed(self.sstables):  # oldest first: LWW ties
+            for key, value, ts, size in table.items_sorted():
+                existing = merged.get(key)
+                if existing is None or ts >= existing[1]:
+                    merged[key] = (value, ts, size)
+        for memtable in [*reversed(self.flushing), self.active]:
+            for key, value, ts, size in memtable.items_sorted():
+                existing = merged.get(key)
+                if existing is None or ts >= existing[1]:
+                    merged[key] = (value, ts, size)
+        return self._live_entries([(k, *merged[k]) for k in sorted(merged)])
+
+    def ingest_run(self, entries: list[tuple[str, Any, float, int]]) -> None:
+        """Adopt a pre-sorted run (streamed range / split reference file).
+
+        No I/O is charged here — the caller models the physical bytes.
+        The new run still participates in compaction, which is where the
+        post-ingest write amplification (and its disk contention with
+        foreground traffic) comes from.
+        """
+        if not entries:
+            return
+        table = SSTable(entries, self.spec.block_bytes,
+                        self.spec.bloom_fp_rate)
+        self.sstables.insert(0, table)
+        self._maybe_compact()
+
+    def drop_range(self, from_key: str) -> None:
+        """Logically drop every key >= ``from_key`` (split hand-off).
+
+        Existing runs keep the bytes — like HBase reference files, the
+        physical rewrite happens at the next flush/compaction — but
+        reads, scans and future runs no longer see the dropped keys.
+        """
+        if self._drop_from is None or from_key < self._drop_from:
+            self._drop_from = from_key
 
     # -- introspection ---------------------------------------------------
 

@@ -80,6 +80,10 @@ class RunResult:
     #: cache counters — see :meth:`repro.clienttier.ClientTier.stats`)
     #: attached when the cell ran through the resilient client tier.
     clienttier: Optional[dict] = None
+    #: JSON-safe elasticity report (see
+    #: :func:`repro.cluster.elasticity.build_scale_report`) attached when
+    #: the cell ran with a scale engine armed (``repro-bench scale``).
+    scale: Optional[dict] = None
 
     def stats(self, op: str):
         return self.measurements.stats(op)
@@ -143,9 +147,16 @@ class YcsbClient:
 
     def run(self, operation_count: int, n_threads: int = 16,
             target_throughput: Optional[float] = None,
-            warmup_fraction: float = 0.1) -> Generator:
-        """Execute the workload mix (a simulation process)."""
-        measurements = Measurements()
+            warmup_fraction: float = 0.1,
+            measurements: Optional[Measurements] = None) -> Generator:
+        """Execute the workload mix (a simulation process).
+
+        ``measurements`` lets the caller share the live sample store with
+        an observer running alongside the workload (the elasticity
+        campaign's autoscaler polls per-window p95 from it mid-run).
+        """
+        if measurements is None:
+            measurements = Measurements()
         state = {
             "issued": 0,
             "not_found": 0,

@@ -16,7 +16,7 @@ def build(n_nodes=5, **spec_kwargs):
         memtable_flush_bytes=8192, block_bytes=1024, block_cache_bytes=8192))
     deployment = HBaseCluster(cluster, HBaseSpec(
         replication=2, failure_detection_s=1.0, region_recovery_s=0.5,
-        **spec_kwargs))
+        region_move_s=0.2, **spec_kwargs))
     return env, cluster, deployment
 
 
@@ -91,11 +91,60 @@ class TestFailureMonitor:
         first = len(deployment.master.failovers)
         cluster.restart(victim)
         env.run(until=6.0)
+        # The rejoin rebalance moved regions back onto the restarted
+        # server, so killing it again produces *new* failover moves.
+        assert any(nid == victim
+                   for nid in deployment.master.assignment.values())
         cluster.kill(victim)
         env.run(until=9.0)
-        # The restarted server held no regions, so no *new* moves happen,
-        # but the monitor must have re-armed without crashing.
-        assert len(deployment.master.failovers) == first
+        assert len(deployment.master.failovers) > first
+        assert all(nid != victim
+                   for nid in deployment.master.assignment.values())
+
+    def test_rejoin_rebalances_regions_back(self):
+        """Satellite fix: without rejoin rebalancing, every failover
+        permanently piles regions onto the survivors."""
+        env, cluster, deployment = build(n_nodes=5, regions_per_server=2)
+        victim = deployment.server_nodes[0].node_id
+        cluster.kill(victim)
+        env.run(until=3.0)
+        counts = {nid: 0 for nid in deployment.regionservers}
+        for nid in deployment.master.assignment.values():
+            counts[nid] += 1
+        assert counts[victim] == 0
+        cluster.restart(victim)
+        env.run(until=6.0)
+        counts = {nid: 0 for nid in deployment.regionservers}
+        for nid in deployment.master.assignment.values():
+            counts[nid] += 1
+        assert counts[victim] > 0
+        assert deployment.master.rebalances
+        # Balanced to within the ceiling quota.
+        quota = -(-len(deployment.master.assignment)
+                  // len(deployment.regionservers))
+        assert max(counts.values()) <= quota
+
+    def test_rebalanced_region_pays_graceful_move_window(self):
+        """A planned (rejoin-rebalance) move is a graceful close/reopen:
+        it pays ``region_move_s``, not the crash-failover WAL replay."""
+        env, cluster, deployment = build()
+        victim = deployment.server_nodes[0].node_id
+        cluster.kill(victim)
+        env.run(until=3.0)
+        cluster.restart(victim)
+        env.run(until=6.0)
+        moved_at, region_id, _ = deployment.master.rebalances[0]
+        region = deployment.master.regions[region_id]
+        assert region.available_at == pytest.approx(moved_at + 0.2)
+
+    def test_failover_still_pays_wal_replay_window(self):
+        env, cluster, deployment = build()
+        victim = deployment.server_nodes[0].node_id
+        cluster.kill(victim)
+        env.run(until=3.0)
+        moved_at, region_id, _ = deployment.master.failovers[0]
+        region = deployment.master.regions[region_id]
+        assert region.available_at == pytest.approx(moved_at + 0.5)
 
     def test_moved_region_unavailability_window(self):
         env, cluster, deployment = build()
@@ -105,3 +154,103 @@ class TestFailureMonitor:
         cluster.kill(victim_server.node.node_id)
         env.run(until=3.0)
         assert region.available_at > 0
+
+
+class TestRegionSplit:
+    def test_split_halves_range_and_reroutes(self):
+        env, cluster, deployment = build()
+        region = deployment.regions[0]
+        start, end = region.start_token, region.end_token
+        daughter = deployment.split_region(region)
+        mid = start + (end - start) // 2
+        assert (region.start_token, region.end_token) == (start, mid)
+        assert (daughter.start_token, daughter.end_token) == (mid, end)
+        assert deployment.region_for_token(start) is region
+        assert deployment.region_for_token(mid) is daughter
+        assert deployment.region_for_token(end - 1) is daughter
+        # Daughter opens on the parent's server and META knows it.
+        assert deployment.master.assignment[daughter.region_id] \
+            == region.medium.server.node.node_id
+        assert deployment.splits == [(0.0, region.region_id,
+                                      daughter.region_id)]
+        assert region.available_at > 0 and daughter.available_at > 0
+
+    def test_split_partitions_data(self):
+        from repro.keyspace import key_for_token
+
+        env, cluster, deployment = build()
+        region = deployment.regions[0]
+        width = region.end_token - region.start_token
+        keys = [key_for_token(region.start_token + i * width // 8)
+                for i in range(8)]
+
+        def load():
+            for i, key in enumerate(keys):
+                yield from region.tree.put(key, i, 100, float(i))
+
+        env.run(until=env.process(load()))
+        daughter = deployment.split_region(region)
+        split_key = key_for_token(region.end_token)
+
+        def check():
+            for i, key in enumerate(keys):
+                owner = daughter if key >= split_key else region
+                other = region if owner is daughter else daughter
+                found = yield from owner.tree.get(key)
+                assert found is not None and found[0] == i
+                missing = yield from other.tree.get(key)
+                assert missing is None
+
+        env.run(until=env.process(check()))
+        assert any(k >= split_key for k in keys)  # both sides exercised
+
+    def test_tiny_region_refuses_split(self):
+        from repro.hbase.region import Region
+        with pytest.raises(ValueError):
+            Region(0, 5, 6).split(1, StorageSpec())
+
+
+class TestStandbyAndDecommission:
+    def test_spare_servers_start_empty(self):
+        _, _, deployment = build(n_nodes=6, spare_servers=1)
+        spare = deployment.server_nodes[-1].node_id
+        assert spare in deployment.master.standby
+        assert all(nid != spare
+                   for nid in deployment.master.assignment.values())
+        # Pre-split only covers the in-service servers.
+        assert len(deployment.regions) == 4 * 2
+
+    def test_activate_rebalances_onto_spare(self):
+        env, cluster, deployment = build(n_nodes=6, spare_servers=1)
+        spare = deployment.server_nodes[-1].node_id
+        moves = deployment.master.activate(spare)
+        assert moves > 0
+        assert spare not in deployment.master.standby
+        assert any(nid == spare
+                   for nid in deployment.master.assignment.values())
+
+    def test_decommission_drains_and_failover_skips_standby(self):
+        env, cluster, deployment = build(n_nodes=6, spare_servers=0)
+        victim = deployment.server_nodes[0].node_id
+        moved = deployment.master.decommission(victim)
+        assert moved > 0
+        assert all(nid != victim
+                   for nid in deployment.master.assignment.values())
+        # A later failover never lands regions on the drained server.
+        other = deployment.server_nodes[1].node_id
+        cluster.kill(other)
+        env.run(until=3.0)
+        assert all(nid != victim
+                   for nid in deployment.master.assignment.values())
+
+    def test_cannot_decommission_last_server(self):
+        _, _, deployment = build(n_nodes=3)
+        first = deployment.server_nodes[0].node_id
+        second = deployment.server_nodes[1].node_id
+        deployment.master.decommission(first)
+        with pytest.raises(ValueError):
+            deployment.master.decommission(second)
+
+    def test_spare_count_validation(self):
+        with pytest.raises(ValueError):
+            build(n_nodes=3, spare_servers=2)

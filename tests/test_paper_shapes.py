@@ -447,3 +447,128 @@ class TestFlashCrowdShapes:
         full = surge["flash_crowd"]["full"]["consistency"]
         assert full["max_staleness_lag_s"] <= \
             QUICK_SURGE_SCALE.cache_ttl_s + 0.5
+
+
+class TestElasticityShapes:
+    """The elasticity story: scaling while serving is *safe* (the
+    oracle certifies no acknowledged write is lost to a bootstrap,
+    decommission or region split) and *useful* (under a diurnal ramp
+    that breaches the static cluster's p95, an elastic cluster restores
+    goodput).  Cells run without a warm phase so the static/elastic
+    contrast stays sharp at unit-test scale."""
+
+    @staticmethod
+    def _session(db, mode, events=None):
+        from repro.core.config import default_scale_config
+        from repro.core.experiment import ExperimentSession
+        from repro.core.sweep import (QUICK_ELASTIC_SCALE, elastic_arrivals,
+                                      elasticity_for_mode)
+        from repro.cluster.elasticity import ElasticityConfig
+        scale = QUICK_ELASTIC_SCALE
+        elasticity = elasticity_for_mode(mode, scale)
+        if events is not None:
+            elasticity = ElasticityConfig(mode="manual",
+                                          spare_nodes=scale.spare_nodes,
+                                          events=events)
+        config = default_scale_config(
+            db, elasticity=elasticity,
+            arrivals=elastic_arrivals("diurnal", scale),
+            record_count=scale.record_count, n_nodes=scale.n_nodes,
+            seed=scale.seed)
+        session = ExperimentSession(config)
+        session.load()
+        return session
+
+    @classmethod
+    def _run(cls, db, mode, events=None):
+        from repro.core.experiment import summarize_run
+        session = cls._session(db, mode, events=events)
+        kwargs = {}
+        if db == "cassandra":
+            kwargs = dict(read_cl=session.config.cassandra.read_cl,
+                          write_cl=session.config.cassandra.write_cl)
+        result = session.run_cell(open_loop=True, scale=True,
+                                  check_consistency=True, **kwargs)
+        return session, summarize_run(result)
+
+    @pytest.fixture(scope="class")
+    def diurnal(self):
+        return {(db, mode): self._run(db, mode)[1]
+                for db in ("hbase", "cassandra")
+                for mode in ("static", "manual", "auto")}
+
+    def test_static_diurnal_breaches_where_elastic_does_not(self, diurnal):
+        from repro.core.sweep import QUICK_ELASTIC_SCALE
+        static = diurnal[("hbase", "static")]
+        manual = diurnal[("hbase", "manual")]
+        # The ramp saturates the static cluster far past the breach bar.
+        assert static["p95_ms"] > QUICK_ELASTIC_SCALE.p95_breach_ms
+        assert manual["p95_ms"] < static["p95_ms"]
+
+    def test_elastic_restores_goodput(self, diurnal):
+        static = diurnal[("hbase", "static")]
+        for mode in ("manual", "auto"):
+            elastic = diurnal[("hbase", mode)]
+            assert elastic["scale"]["actions"] >= 1, mode
+            assert elastic["throughput"] > 1.05 * static["throughput"], mode
+
+    def test_autoscaler_decides_from_breach(self, diurnal):
+        # The autoscaler fires the same scale-out the operator scheduled
+        # manually — but from observed p95, not a clock.
+        events = [e for _, e, _ in diurnal[("hbase", "auto")]
+                  ["scale"]["events"]]
+        assert events == ["out_start", "out_done"]
+
+    def test_cassandra_bootstrap_streams_and_serves(self, diurnal):
+        manual = diurnal[("cassandra", "manual")]
+        report = manual["scale"]
+        assert report["actions"] == 1
+        assert report["streamed_bytes"] > 0
+        before = report["phases"]["before"]
+        after = report["phases"]["after"]
+        # The joiner pulled its ranges and then *served* them: latency
+        # past the swap beats latency before it.
+        assert after["ops"] > 0
+        assert after["p95_ms"] < before["p95_ms"]
+
+    def test_no_acked_write_lost_across_topology_changes(self, diurnal):
+        from repro.consistency.oracle import unexpected_violations
+        for (db, mode), summary in diurnal.items():
+            assert unexpected_violations(summary["consistency"]) == 0, \
+                (db, mode)
+
+    def test_decommission_under_load_is_safe(self):
+        """Scale-in mid-run: the leaver streams its ranges to the
+        gainers before leaving the ring; QUORUM holds throughout."""
+        from repro.cluster.elasticity import ScaleEventSpec
+        from repro.consistency.oracle import unexpected_violations
+        session, summary = self._run(
+            "cassandra", "manual",
+            events=(ScaleEventSpec(action="in", at_s=4.0),))
+        report = summary["scale"]
+        assert [e for _, e, _ in report["events"]] == \
+            ["in_start", "in_done"]
+        assert report["streamed_bytes"] > 0
+        assert unexpected_violations(summary["consistency"]) == 0
+
+    def test_split_under_load_is_safe(self):
+        """A region split mid-run (both halves pay the close/reopen
+        window) loses nothing: HBase's single-master model keeps every
+        acknowledged write readable through the cutover."""
+        from repro.consistency.oracle import unexpected_violations
+        from repro.core.experiment import summarize_run
+        session = self._session("hbase", "static")
+        deployment = session.hbase
+
+        def splitter():
+            yield session.env.timeout(4.0)
+            region = max(deployment.regions,
+                         key=lambda r: r.end_token - r.start_token)
+            deployment.split_region(region)
+
+        session.env.process(splitter(), name="mid-run-split")
+        result = session.run_cell(open_loop=True, scale=True,
+                                  check_consistency=True)
+        summary = summarize_run(result)
+        assert summary["scale"]["splits"] == 1
+        assert unexpected_violations(summary["consistency"]) == 0

@@ -1,0 +1,100 @@
+"""Measure line coverage of ``src/repro`` across the tier-1 suite.
+
+A dependency-free stand-in for ``coverage.py``: a ``sys.settrace`` hook
+records executed lines for files under ``src/repro`` only (frames from
+other files are not line-traced), and executable lines come from the
+compiled code objects' ``co_lines`` tables — the same definition
+``coverage.py`` uses for statement coverage, minus its AST-level
+exclusions, so this tool reports a slightly *lower* percentage than
+``pytest-cov`` does on the same run.  CI runs the real ``pytest-cov``
+(installed there); this script exists to measure the floor in
+environments without it:
+
+    python tools/measure_coverage.py [pytest args...]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src", "repro")
+
+executed: dict[str, set[int]] = {}
+
+
+def _trace(frame, event, arg):
+    filename = frame.f_code.co_filename
+    if not filename.startswith(SRC):
+        return None
+    lines = executed.setdefault(filename, set())
+
+    def local(frame, event, arg):
+        if event == "line":
+            lines.add(frame.f_lineno)
+        return local
+
+    if event == "line":
+        lines.add(frame.f_lineno)
+    return local
+
+
+def executable_lines(path: str) -> set[int]:
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    lines: set[int] = set()
+    stack = [compile(source, path, "exec")]
+    while stack:
+        code = stack.pop()
+        for _start, _end, lineno in code.co_lines():
+            if lineno is not None:
+                lines.add(lineno)
+        for const in code.co_consts:
+            if hasattr(const, "co_lines"):
+                stack.append(const)
+    # A module's docstring/constant-fold line table includes line 1 even
+    # when it is a docstring; keep it — the module body does execute it.
+    return lines
+
+
+def main() -> int:
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    import pytest
+
+    threading.settrace(_trace)
+    sys.settrace(_trace)
+    try:
+        exit_code = pytest.main(["-q", *sys.argv[1:]])
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    if exit_code != 0:
+        print(f"pytest exited {exit_code}; coverage below is incomplete")
+
+    total_executable = 0
+    total_executed = 0
+    rows = []
+    for dirpath, _dirnames, filenames in os.walk(SRC):
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            known = executable_lines(path)
+            hit = executed.get(path, set()) & known
+            total_executable += len(known)
+            total_executed += len(hit)
+            pct = 100.0 * len(hit) / len(known) if known else 100.0
+            rows.append((pct, os.path.relpath(path, ROOT), len(hit),
+                         len(known)))
+    rows.sort()
+    for pct, rel, hit, known in rows:
+        print(f"{pct:6.1f}%  {hit:5d}/{known:<5d}  {rel}")
+    overall = 100.0 * total_executed / max(total_executable, 1)
+    print(f"TOTAL {overall:.2f}% ({total_executed}/{total_executable} lines)")
+    return 0 if exit_code == 0 else int(exit_code)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
