@@ -35,6 +35,8 @@ from repro.adaptive.monitor import SloSpec, WindowStats
 
 __all__ = [
     "ADAPTIVE_POLICIES",
+    "ALL_POLICIES",
+    "EnergyAwarePolicy",
     "Policy",
     "StalenessBoundPolicy",
     "StaticPolicy",
@@ -257,10 +259,70 @@ class StalenessBoundPolicy(Policy):
         return counters
 
 
+class EnergyAwarePolicy(StalenessBoundPolicy):
+    """Staleness-bound CL routing plus replica power management.
+
+    The CL half is exactly :class:`StalenessBoundPolicy` — the QoD
+    bound already spends the staleness budget on the cheap read path,
+    which is most of the energy win (ONE touches one replica's CPU,
+    disk and NIC instead of a quorum's).  On top of it, the policy
+    drives a parking actuator (bound by the experiment session): after
+    a *clean* window — no hint risk, exposure within the SLO's rate,
+    latency within the SLO — the managed replicas' power machines drop
+    into race-to-sleep; any risky window unparks the whole fleet, so
+    reads recovering from a breach do not also pay wake latency.
+
+    Without a bound actuator (power management disabled in the config)
+    the policy degrades to pure CL routing.
+    """
+
+    name = "energy-aware"
+
+    def __init__(self, slo: SloSpec) -> None:
+        super().__init__(slo)
+        self._set_parked = None
+        self.parked = False
+        self.parks = 0
+        self.unparks = 0
+
+    def bind_actuator(self, set_parked) -> None:
+        """Install the session's park/unpark callable
+        (``set_parked(parked: bool)``)."""
+        self._set_parked = set_parked
+
+    def on_window(self, window: WindowStats) -> None:
+        super().on_window(window)
+        if self._set_parked is None:
+            return
+        risky = (self._hint_risk
+                 or window.exposed_fraction > self.slo.risk_rate
+                 or window.read_p95_ms > self.slo.p95_ms)
+        if risky and self.parked:
+            self.parked = False
+            self.unparks += 1
+            self._set_parked(False)
+        elif not risky and not self.parked:
+            self.parked = True
+            self.parks += 1
+            self._set_parked(True)
+
+    def counters(self) -> dict:
+        counters = super().counters()
+        counters["parks"] = self.parks
+        counters["unparks"] = self.unparks
+        counters["parked"] = self.parked
+        return counters
+
+
 #: Policy names ``repro-bench adaptive`` sweeps (stable order: the two
 #: static baselines first, then the adaptive contenders).
 ADAPTIVE_POLICIES = ("static-one", "static-quorum", "stepwise",
                      "staleness-bound")
+
+#: Every registered policy name (``repro-bench energy`` adds the
+#: energy-aware contender; the adaptive campaign keeps its stable
+#: four-policy matrix).
+ALL_POLICIES = ADAPTIVE_POLICIES + ("energy-aware",)
 
 
 def make_policy(name: str, slo: SloSpec,
@@ -276,5 +338,7 @@ def make_policy(name: str, slo: SloSpec,
         return StepwisePolicy(slo, decay_windows=decay_windows or 3)
     if name == "staleness-bound":
         return StalenessBoundPolicy(slo)
+    if name == "energy-aware":
+        return EnergyAwarePolicy(slo)
     raise ValueError(f"unknown adaptive policy {name!r}; "
-                     f"choose from {ADAPTIVE_POLICIES}")
+                     f"choose from {ALL_POLICIES}")

@@ -73,6 +73,10 @@ class Disk:
         self.bytes_read = 0
         self.bytes_written = 0
         self.busy_time = 0.0
+        #: The owning node's power-state machine (shared instance) when
+        #: power management is on; a parked spindle must spin up before
+        #: serving, charged as extra access latency.
+        self.power = None
         #: Fault-injection hook: service-time multiplier (>= 1).  A
         #: gray-failing disk serves every access, just ``slowdown``-times
         #: slower (see :class:`repro.cluster.failure.DiskDegradeFault`).
@@ -90,9 +94,17 @@ class Disk:
     def _access(self, service_time: float, priority: int) -> Generator:
         with self._spindle.request(priority=priority) as req:
             yield req
+            penalty = 0.0
+            if self.power is not None:
+                now = self.env._now
+                penalty = self.power.wake_for_work(now) - now
             t = self._jittered(service_time) * self.slowdown
+            # Spin-up waits at baseline draw; only real service is
+            # priced at the spindle's active watts.
             self.busy_time += t
-            yield self.env.timeout(t)
+            yield self.env.timeout(penalty + t)
+            if self.power is not None:
+                self.power.note_busy(self.env._now)
 
     # -- public API ------------------------------------------------------
 

@@ -1,87 +1,11 @@
-"""Cluster energy accounting.
+"""Compatibility shim: the meter grew into :mod:`repro.energy`.
 
-The paper's related-work section notes that BigDataBench extends YCSB
-with an energy-consumption metric.  This module adds the same capability
-to the simulated testbed: a simple utilization-based power model summed
-over nodes, reported as joules and joules/operation.
-
-Model: each machine draws ``idle_w`` watts just by being on, plus a
-utilization-proportional share of ``cpu_w`` (all cores busy) and
-``disk_w`` (spindle busy).  Defaults approximate a dual-socket
-Xeon L5640 server of the paper's era (~120 W idle, ~80 W CPU swing,
-~10 W disk).
+The utilization-based meter that lived here since the seed is now the
+:mod:`repro.energy` subsystem (power-state machine, NIC accounting,
+dollar pricing).  Importing the historical names from here keeps
+existing call sites working.
 """
 
-from __future__ import annotations
-
-from dataclasses import dataclass
-
-from repro.cluster.node import Node
+from repro.energy import EnergyMeter, EnergyReport, PowerSpec
 
 __all__ = ["EnergyMeter", "EnergyReport", "PowerSpec"]
-
-
-@dataclass(frozen=True)
-class PowerSpec:
-    idle_w: float = 120.0
-    cpu_w: float = 80.0
-    disk_w: float = 10.0
-
-
-@dataclass(frozen=True)
-class EnergyReport:
-    """Joules consumed by the cluster over one measured window."""
-
-    duration_s: float
-    idle_j: float
-    cpu_j: float
-    disk_j: float
-
-    @property
-    def total_j(self) -> float:
-        return self.idle_j + self.cpu_j + self.disk_j
-
-    def joules_per_op(self, operations: int) -> float:
-        if operations <= 0:
-            return 0.0
-        return self.total_j / operations
-
-
-class EnergyMeter:
-    """Snapshots node counters and integrates power between them."""
-
-    def __init__(self, nodes: list[Node], spec: PowerSpec = PowerSpec()) -> None:
-        if not nodes:
-            raise ValueError("meter needs at least one node")
-        self.nodes = list(nodes)
-        self.spec = spec
-        self._start_time: float | None = None
-        self._start_cpu: list[float] = []
-        self._start_disk: list[float] = []
-
-    def start(self) -> None:
-        env = self.nodes[0].env
-        self._start_time = env.now
-        self._start_cpu = [n.cpu_time for n in self.nodes]
-        self._start_disk = [n.disk.busy_time for n in self.nodes]
-
-    def stop(self) -> EnergyReport:
-        if self._start_time is None:
-            raise RuntimeError("call start() before stop()")
-        env = self.nodes[0].env
-        duration = env.now - self._start_time
-        if duration <= 0:
-            return EnergyReport(0.0, 0.0, 0.0, 0.0)
-        idle_j = self.spec.idle_w * duration * len(self.nodes)
-        cpu_j = 0.0
-        disk_j = 0.0
-        for node, cpu0, disk0 in zip(self.nodes, self._start_cpu,
-                                     self._start_disk):
-            # core-seconds / cores = average utilization * duration
-            busy_core_s = max(0.0, node.cpu_time - cpu0)
-            cpu_j += self.spec.cpu_w * busy_core_s / node.spec.cores
-            disk_busy_s = max(0.0, node.disk.busy_time - disk0)
-            disk_j += self.spec.disk_w * disk_busy_s
-        self._start_time = None
-        return EnergyReport(duration_s=duration, idle_j=idle_j,
-                            cpu_j=cpu_j, disk_j=disk_j)

@@ -60,6 +60,9 @@ class Nic:
         self._ingress_busy = 0.0
         self.bytes_sent = 0
         self.bytes_received = 0
+        #: Cumulative channel-busy seconds (egress + ingress), the NIC
+        #: term of the energy meter's power integral.
+        self.busy_s = 0.0
         #: Fault-injection hook: serialization-time multiplier (>= 1).
         #: Packet loss and added latency both surface to flows as a lower
         #: effective bandwidth, so a degraded NIC is modelled as a slower
@@ -80,6 +83,7 @@ class Nic:
             start = self._egress_busy
         done = start + (self.slowdown * (size + spec.header_bytes)
                         / spec.bandwidth_bps)
+        self.busy_s += done - start
         self._egress_busy = done
         return done
 
@@ -95,6 +99,7 @@ class Nic:
             start = self._ingress_busy
         done = start + (self.slowdown * (size + spec.header_bytes)
                         / spec.bandwidth_bps)
+        self.busy_s += done - start
         self._ingress_busy = done
         return done
 

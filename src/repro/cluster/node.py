@@ -61,6 +61,13 @@ class Node:
         self.handlers: dict[str, Callable[[object], Generator]] = {}
         self.alive = True
         self.cpu_time = 0.0
+        #: When this machine was provisioned (energy meters bill nodes
+        #: that join a running cluster from here, not window start).
+        self.created_at = env.now
+        #: Power-state machine (:class:`repro.energy.power.PowerManager`)
+        #: when power management is enabled; ``None`` keeps the hot path
+        #: free for always-on clusters.
+        self.power = None
         #: Handlers stall until this time while a GC pause is in effect.
         self.paused_until = 0.0
         self.gc_pauses = 0
@@ -109,9 +116,15 @@ class Node:
         earliest = self._core_free[0]
         if earliest > start:
             start = earliest
+        if self.power is not None:
+            # A parked machine pays its deterministic wake latency
+            # before the core can run — power management costs tail.
+            start = self.power.wake_for_work(start)
         end = start + seconds
         heapreplace(self._core_free, end)
         self.cpu_time += seconds
+        if self.power is not None:
+            self.power.note_busy(end)
         return end
 
     def _advance_gc_schedule(self) -> None:

@@ -155,8 +155,21 @@ def check_sweep(db: str, mode: str = "QUORUM",
     violating: list[int] = []
     unexpected = 0
     inconclusive = 0
+    total_j = total_usd = 0.0
+    total_ops = 0
+    metered = False
     for cell, payload in zip(cells, payloads):
-        report = payload["runs"][0]["consistency"]
+        summary = payload["runs"][0]
+        # Energy rolls up across the matrix: joules add, so the
+        # aggregate is sum-of-joules over sum-of-ops.  ``.get`` keeps
+        # payloads cached before the energy meter renderable.
+        energy, cost = summary.get("energy"), summary.get("cost")
+        if energy is not None and cost is not None:
+            metered = True
+            total_j += energy["total_j"]
+            total_usd += cost["total_usd"]
+            total_ops += summary["ops"]
+        report = summary["consistency"]
         per_seed[cell.key] = report
         # Canonical kind order, not dict order: a payload that
         # round-tripped through the cell cache comes back with sorted
@@ -195,4 +208,8 @@ def check_sweep(db: str, mode: str = "QUORUM",
         "replay_verified": replay_verified,
         "example_violations": (per_seed[min_repro]["examples"][:10]
                                if min_repro is not None else []),
+        "joules_per_op": (total_j / total_ops
+                          if metered and total_ops else None),
+        "usd_per_mops": (total_usd / (total_ops / 1e6)
+                         if metered and total_ops else None),
     }

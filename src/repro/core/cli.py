@@ -31,6 +31,7 @@ from repro.core.report import (
     render_adaptive_timeline,
     render_check_report,
     render_consistency_sweep,
+    render_energy_sweep,
     render_failover_sweep,
     render_failover_timeline,
     render_geo_sweep,
@@ -60,6 +61,7 @@ from repro.core.sweep import (
     QUICK_ADAPTIVE_SCALE,
     QUICK_CHECK_SCALE,
     QUICK_ELASTIC_SCALE,
+    QUICK_ENERGY_SCALE,
     QUICK_FAILOVER_SCALE,
     QUICK_GEO_SCALE,
     QUICK_SCALE,
@@ -73,6 +75,7 @@ from repro.core.sweep import (
     AdaptiveScale,
     CheckScale,
     ElasticScale,
+    EnergyScale,
     FailoverScale,
     GeoScale,
     SurgeScale,
@@ -81,6 +84,7 @@ from repro.core.sweep import (
     adaptive_sweep,
     check_sweep,
     consistency_stress_sweep,
+    energy_sweep,
     failover_sweep,
     geo_sweep,
     replication_micro_sweep,
@@ -344,6 +348,36 @@ def cmd_scale(args) -> int:
     return 0
 
 
+def cmd_energy(args) -> int:
+    """Energy/cost campaign: RF x CL round x power-management mode with
+    joules/op and $/Mops per cell, oracle-checked.  ``--strict`` fails
+    the process on any violation the cell's consistency level does not
+    already permit — a power mode that saved joules by serving staler
+    reads than the guarantee allows is a bug, not a saving."""
+    from repro.consistency.oracle import unexpected_violations
+    scale = QUICK_ENERGY_SCALE if args.quick else EnergyScale()
+    sweeps: dict = {}
+    unexpected = 0
+    for db in args.dbs:
+        sweep = energy_sweep(db, scale, runner=_runner(args))
+        sweeps[db] = sweep
+        print(render_energy_sweep(db, sweep))
+        print()
+        for rf in sweep:
+            for cl, by_power in sweep[rf].items():
+                for power, summary in by_power.items():
+                    count = unexpected_violations(summary["consistency"])
+                    if count:
+                        print(f"unexpected violations: {db}/rf={rf}"
+                              f"/{cl}/{power}: {count}", file=sys.stderr)
+                    unexpected += count
+    _write_report(args, sweeps)
+    if args.strict and unexpected:
+        print(f"FAIL: {unexpected} unexpected violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_perf(args) -> int:
     """Kernel perf trajectory: run the microbenchmark suite + calibrated
     stress cell, write ``BENCH_perf.json``, and (optionally) gate
@@ -568,6 +602,13 @@ CAMPAIGNS: tuple[Campaign, ...] = (
                       choices=list(ELASTIC_SCENARIOS),
                       help="arrival shape(s) to run (default: all)"),
              ),
+             post_parse=_default_dbs),
+    Campaign("energy",
+             "energy/cost campaign: joules per op and dollars per Mops "
+             "across RF x CL x power-management modes",
+             cmd_energy,
+             options=("quick", "dbs", "strict", "report", "jobs",
+                      "no_cache"),
              post_parse=_default_dbs),
     Campaign("perf",
              "kernel microbenchmarks + calibrated stress cell (the perf "

@@ -10,6 +10,7 @@ from typing import Optional
 from repro.cassandra.consistency import ConsistencyLevel
 from repro.cluster.elasticity import ElasticityConfig, ScaleEventSpec
 from repro.cluster.failure import FaultSpec
+from repro.energy import POWER_MODES, CostSpec, PowerSpec
 from repro.storage.lsm import StorageSpec
 from repro.ycsb.workload import MICRO_WORKLOADS, STRESS_WORKLOADS, WorkloadSpec
 
@@ -19,6 +20,7 @@ __all__ = [
     "CassandraConfig",
     "ClientTierConfig",
     "ElasticityConfig",
+    "EnergyConfig",
     "ExperimentConfig",
     "GeoConfig",
     "HBaseConfig",
@@ -167,6 +169,57 @@ class AdaptiveConfig:
 
 
 @dataclass(frozen=True)
+class EnergyConfig:
+    """Power/cost model for one cell (see :mod:`repro.energy`).
+
+    The all-defaults instance is inert: every node stays always-on, no
+    wake latency anywhere, and the meter prices exactly the historical
+    utilization integral.  ``power_mode`` arms power management:
+
+    - ``"race_to_sleep"`` — every server parks unconditionally after
+      its idle threshold (DVFS P-state, then deep sleep), paying
+      deterministic wake latency when work arrives;
+    - ``"policy"`` — servers start always-on and an
+      :class:`repro.adaptive.policy.EnergyAwarePolicy` parks/unparks
+      them per monitoring window (requires ``RunSpec.adaptive =
+      "energy-aware"``).
+    """
+
+    power_mode: str = "always_on"
+    idle_w: float = 120.0
+    cpu_w: float = 80.0
+    disk_w: float = 10.0
+    nic_w: float = 5.0
+    pstate_idle_w: float = 70.0
+    sleep_w: float = 12.0
+    idle_after_s: float = 0.01
+    sleep_after_s: float = 0.5
+    pstate_wake_s: float = 0.002
+    sleep_wake_s: float = 0.3
+    usd_per_kwh: float = 0.12
+    usd_per_node_hour: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.power_mode not in POWER_MODES + ("policy",):
+            raise ValueError(
+                f"unknown power mode {self.power_mode!r}; choose from "
+                f"{POWER_MODES + ('policy',)}")
+
+    def power_spec(self) -> PowerSpec:
+        return PowerSpec(
+            idle_w=self.idle_w, cpu_w=self.cpu_w, disk_w=self.disk_w,
+            nic_w=self.nic_w, pstate_idle_w=self.pstate_idle_w,
+            sleep_w=self.sleep_w, idle_after_s=self.idle_after_s,
+            sleep_after_s=self.sleep_after_s,
+            pstate_wake_s=self.pstate_wake_s,
+            sleep_wake_s=self.sleep_wake_s)
+
+    def cost_spec(self) -> CostSpec:
+        return CostSpec(usd_per_kwh=self.usd_per_kwh,
+                        usd_per_node_hour=self.usd_per_node_hour)
+
+
+@dataclass(frozen=True)
 class HBaseConfig:
     """HBase-side knobs (see :class:`repro.hbase.deployment.HBaseSpec`)."""
 
@@ -287,6 +340,9 @@ class ExperimentConfig:
     #: leveling / cache-aside); inert by default, consulted by open-loop
     #: runs (``RunSpec.open_loop``).
     clienttier: ClientTierConfig = field(default_factory=ClientTierConfig)
+    #: Power/cost model (joules/op and $/Mops on every report);
+    #: defaults to always-on with the standard testbed wattages.
+    energy: EnergyConfig = field(default_factory=EnergyConfig)
     #: Open-loop arrival stream for ``RunSpec.open_loop`` runs.  ``None``
     #: means the cell is closed-loop only.
     arrivals: Optional[ArrivalConfig] = None

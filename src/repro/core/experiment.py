@@ -12,13 +12,12 @@ Two entry points:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-
-from repro.cluster.energy import EnergyMeter
+from math import isfinite
 from typing import Optional
 
 from repro.adaptive.controller import AdaptiveController
 from repro.adaptive.monitor import Monitor, SloSpec
-from repro.adaptive.policy import make_policy
+from repro.adaptive.policy import EnergyAwarePolicy, make_policy
 from repro.cassandra.client import CassandraSession
 from repro.cassandra.consistency import ConsistencyLevel
 from repro.cassandra.deployment import CassandraCluster, CassandraSpec
@@ -31,6 +30,7 @@ from repro.consistency.history import HistoryRecorder
 from repro.consistency.oracle import build_consistency_report
 from repro.core.config import ExperimentConfig
 from repro.core.failover import StalenessProbe, build_failover_report
+from repro.energy import EnergyMeter, PowerManager
 from repro.hbase.client import HBaseClient
 from repro.hbase.deployment import HBaseCluster, HBaseSpec
 from repro.sim.kernel import Environment
@@ -85,6 +85,16 @@ def summarize_run(result: "RunResult") -> dict:
         summary["clienttier"] = result.clienttier
     if result.scale is not None:
         summary["scale"] = result.scale
+    if result.energy is not None:
+        summary["energy"] = result.energy.to_dict()
+        jop = result.energy.joules_per_op(overall.count)
+        # JSON has no inf: an all-errors window stores None (renderers
+        # show it as "max", never as free).
+        summary["joules_per_op"] = jop if isfinite(jop) else None
+    if result.cost is not None:
+        summary["cost"] = result.cost.to_dict()
+        upm = result.cost.usd_per_mops(overall.count)
+        summary["usd_per_mops"] = upm if isfinite(upm) else None
     return summary
 
 
@@ -124,6 +134,28 @@ class ExperimentSession:
                                    ClusterSpec(n_nodes=config.n_nodes),
                                    self.rngs)
             self.client_node = self.cluster.node(config.n_nodes - 1)
+        self.power_spec = config.energy.power_spec()
+        self.cost_spec = config.energy.cost_spec()
+        if config.energy.power_mode != "always_on":
+            # Power management covers the servers only — the client
+            # machine is the workload generator, not part of the system
+            # under test.  ``"policy"`` mode starts everything awake and
+            # lets an energy-aware adaptive policy park/unpark per
+            # window; ``"race_to_sleep"`` parks unconditionally.
+            mode = ("race_to_sleep"
+                    if config.energy.power_mode == "race_to_sleep"
+                    else "always_on")
+            if config.geo is not None:
+                servers = [self.cluster.nodes[i]
+                           for i in self.cluster.server_ids]
+            else:
+                servers = [n for n in self.cluster.nodes
+                           if n is not self.client_node]
+            for node in servers:
+                manager = PowerManager(self.power_spec, mode=mode,
+                                       now=self.env.now)
+                node.power = manager
+                node.disk.power = manager
         self._loaded = False
         self.hbase: Optional[HBaseCluster] = None
         self.cassandra: Optional[CassandraCluster] = None
@@ -417,6 +449,17 @@ class ExperimentSession:
                               signal_source=coordinator_signals)
             policy = make_policy(adaptive, slo,
                                  decay_windows=ac.decay_windows)
+            if isinstance(policy, EnergyAwarePolicy):
+                managed = [n for n in self.cluster.nodes
+                           if n.power is not None]
+
+                def set_parked(parked: bool) -> None:
+                    mode = "race_to_sleep" if parked else "always_on"
+                    at = env.now
+                    for node in managed:
+                        node.power.set_mode(mode, at)
+
+                policy.bind_actuator(set_parked)
             # Outermost wrapper: the controller sets the session CL
             # *before* delegating, so the history recorder (inside)
             # records the CL each operation actually ran at.
@@ -497,11 +540,16 @@ class ExperimentSession:
             if self.hbase is not None:
                 pre_rebalances = len(self.hbase.master.rebalances)
                 pre_splits = len(self.hbase.splits)
-        meter = EnergyMeter(self.cluster.nodes)
+        # Re-read the topology at stop so elasticity joins/leaves over
+        # the window bill correctly.
+        meter = EnergyMeter(spec=self.power_spec,
+                            nodes_source=lambda: self.cluster.nodes)
         meter.start()
         process = self.env.process(run_coro, name="run")
         result: RunResult = self.env.run(until=process)
-        result = replace(result, energy=meter.stop())
+        energy = meter.stop()
+        result = replace(result, energy=energy,
+                         cost=self.cost_spec.price(energy))
         if probe is not None:
             probe.stop()
         if engine is not None:

@@ -5,13 +5,33 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 __all__ = ["render_adaptive_sweep", "render_adaptive_timeline",
-           "render_geo_sweep",
+           "render_energy_sweep", "render_geo_sweep",
            "render_check_report", "render_consistency_sweep",
            "render_failover_sweep", "render_failover_timeline",
            "render_micro_sweep", "render_progress", "render_scale_sweep",
            "render_series",
            "render_stress_sweep", "render_surge_sweep", "render_table",
            "render_tail_sweep"]
+
+
+def _energy_cell(summary: dict, key: str):
+    """One J/op or $/Mops table cell from a run summary.
+
+    Three cases: a number (normal), ``None`` stored under the key (an
+    all-errors run — the energy was real, the rate is unbounded, shown
+    as ``max``), or the key missing entirely (a payload cached before
+    the energy meter existed — shown as ``-``, never a KeyError).
+    """
+    if key not in summary:
+        return "-"
+    value = summary[key]
+    return value if value is not None else None
+
+
+def _energy_cols(summary: dict) -> list:
+    """The ``J/op`` + ``$/Mops`` cell pair every campaign table carries."""
+    return [_energy_cell(summary, "joules_per_op"),
+            _energy_cell(summary, "usd_per_mops")]
 
 
 def render_progress(event, completed: Optional[int] = None) -> str:
@@ -60,28 +80,54 @@ def render_series(name: str, series: Sequence[tuple[float, float]],
     return render_table([x_label, y_label], rows, title=name)
 
 
+def _micro_energy_cols(per_op: dict, ops: Sequence[str]) -> list:
+    """Row-level J/op + $/Mops for one RF of the micro sweep.
+
+    Joules add across the op tests, so the row aggregate is recovered
+    as sum(J/op x ops) over sum(ops); rows from payloads that predate
+    the energy meter render as ``-``.
+    """
+    total_j = usd = 0.0
+    count = 0
+    for op in ops:
+        cell = per_op[op]
+        jop = cell.get("joules_per_op")
+        usd_m = cell.get("usd_per_mops")
+        n = cell.get("ops", 0)
+        if jop is None or usd_m is None or not n:
+            continue
+        total_j += jop * n
+        usd += usd_m * (n / 1e6)
+        count += n
+    if not count:
+        return ["-", "-"]
+    return [total_j / count, usd / (count / 1e6)]
+
+
 def render_micro_sweep(db: str, sweep: dict) -> str:
     """Figure 1 panel: mean latency (ms) by op, one row per RF."""
     ops = sorted({op for per_op in sweep.values() for op in per_op})
     # Keep the paper's op order where present.
     preferred = [op for op in ("update", "read", "insert", "scan") if op in ops]
     ops = preferred + [op for op in ops if op not in preferred]
-    headers = ["RF"] + [f"{op} ms" for op in ops]
+    headers = ["RF"] + [f"{op} ms" for op in ops] + ["J/op", "$/Mops"]
     rows = []
     for rf in sorted(sweep):
-        rows.append([rf] + [sweep[rf][op]["mean_ms"] for op in ops])
+        rows.append([rf] + [sweep[rf][op]["mean_ms"] for op in ops]
+                    + _micro_energy_cols(sweep[rf], ops))
     return render_table(headers, rows,
                         title=f"Fig.1 ({db}): micro latency vs replication factor")
 
 
 def render_stress_sweep(db: str, sweep: dict) -> str:
     """Figure 2 panel: peak throughput and latency, one row per (RF, workload)."""
-    headers = ["RF", "workload", "peak ops/s", "latency ms"]
+    headers = ["RF", "workload", "peak ops/s", "latency ms", "J/op",
+               "$/Mops"]
     rows = []
     for rf in sorted(sweep):
         for workload, cell in sweep[rf].items():
             rows.append([rf, workload, cell["peak_throughput"],
-                         cell["latency_ms"]])
+                         cell["latency_ms"]] + _energy_cols(cell))
     return render_table(
         headers, rows,
         title=f"Fig.2 ({db}): stress peak throughput/latency vs replication factor")
@@ -98,7 +144,7 @@ def render_failover_sweep(db: str, sweep: dict) -> str:
     ``sweep`` is :func:`repro.core.sweep.failover_sweep` output.
     """
     headers = ["fault", "CL", "ops", "errors", "detect s", "recover s",
-               "err win s", "stale", "errors by type"]
+               "err win s", "stale", "J/op", "$/Mops", "errors by type"]
     rows = []
     for kind in sweep:
         for mode, summary in sweep[kind].items():
@@ -109,7 +155,8 @@ def render_failover_sweep(db: str, sweep: dict) -> str:
                          _opt_s(report["time_to_detection_s"]),
                          _opt_s(report["time_to_recovery_s"]),
                          f"{report['error_window_s']:.1f}",
-                         report["stale_reads"], by_type])
+                         report["stale_reads"]]
+                        + _energy_cols(summary) + [by_type])
     return render_table(
         headers, rows,
         title=f"Failover campaign ({db}): availability under injected faults")
@@ -150,7 +197,7 @@ def render_tail_sweep(db: str, sweep: dict) -> str:
     """
     headers = ["scenario", "defense", "ops/s", "p50 ms", "p95 ms",
                "p99 ms", "p99.9 ms", "errors", "shed", "deadline",
-               "timeout", "other"]
+               "timeout", "other", "J/op", "$/Mops"]
     rows = []
     for scenario in sweep:
         for mode, summary in sweep[scenario].items():
@@ -163,7 +210,8 @@ def render_tail_sweep(db: str, sweep: dict) -> str:
             rows.append([scenario, mode, summary["throughput"],
                          summary["p50_ms"], summary["p95_ms"],
                          summary["p99_ms"], summary["p999_ms"],
-                         summary["errors"], shed, spent, timeout, other])
+                         summary["errors"], shed, spent, timeout, other]
+                        + _energy_cols(summary))
     return render_table(
         headers, rows,
         title=f"Tail-latency defenses ({db}): "
@@ -185,7 +233,7 @@ def render_surge_sweep(db: str, sweep: dict) -> str:
     headers = ["scenario", "defense", "offered", "goodput/s", "p50 ms",
                "p95 ms", "p99 ms", "p99.9 ms", "shed", "ratelim",
                "breaker", "retried", "store err", "cache hr",
-               "max lag s"]
+               "max lag s", "J/op", "$/Mops"]
     rows = []
     for scenario in sweep:
         for mode, summary in sweep[scenario].items():
@@ -205,7 +253,8 @@ def render_surge_sweep(db: str, sweep: dict) -> str:
                 summary["p95_ms"], summary["p99_ms"], summary["p999_ms"],
                 shed, ratelimited, breaker, retry.get("retried", 0),
                 store, "-" if hit_rate is None else hit_rate,
-                cons.get("max_staleness_lag_s", "-")])
+                cons.get("max_staleness_lag_s", "-")]
+                + _energy_cols(summary))
     return render_table(
         headers, rows,
         title=f"Flash-crowd survival ({db}): offered vs goodput and "
@@ -234,7 +283,7 @@ def render_scale_sweep(db: str, sweep: dict) -> str:
     headers = ["scenario", "mode", "offered", "goodput/s", "actions",
                "xfer s", "streamed B", "moves",
                "before p95/ops", "during p95/ops", "after p95/ops",
-               "stale", "viol"]
+               "stale", "viol", "J/op", "$/Mops"]
     rows = []
     for scenario in sweep:
         for mode, summary in sweep[scenario].items():
@@ -251,7 +300,8 @@ def render_scale_sweep(db: str, sweep: dict) -> str:
                 _phase_cell(phases, "before"), _phase_cell(phases, "during"),
                 _phase_cell(phases, "after"),
                 report.get("stale_reads", 0),
-                "-" if cons is None else cons["violations"]])
+                "-" if cons is None else cons["violations"]]
+                + _energy_cols(summary))
     return render_table(
         headers, rows,
         title=f"Elasticity ({db}): per-phase latency across live "
@@ -271,7 +321,7 @@ def render_geo_sweep(sweep: dict) -> str:
     """
     headers = ["CL mode", "scenario", "region", "thr", "p95 ms",
                "p99 ms", "errors", "unavail", "stale", "max lag s",
-               "conv", "strong"]
+               "conv", "strong", "J/op", "$/Mops"]
     rows = []
     for mode in sweep:
         for scenario, regions in sweep[mode].items():
@@ -287,7 +337,8 @@ def render_geo_sweep(sweep: dict) -> str:
                     by_kind.get("stale_read", 0),
                     cons["max_staleness_lag_s"],
                     by_kind.get("convergence", 0),
-                    "yes" if cons["strong"] else "no"])
+                    "yes" if cons["strong"] else "no"]
+                    + _energy_cols(summary))
     return render_table(
         headers, rows,
         title="Geo-replication campaign (cassandra): availability, tail "
@@ -329,6 +380,10 @@ def render_check_report(db: str, sweep: dict) -> str:
     if sweep["unexpected_violations"]:
         lines.append(f"UNEXPECTED violations (guarantee broken): "
                      f"{sweep['unexpected_violations']}")
+    if sweep.get("joules_per_op") is not None:
+        lines.append(f"energy across the matrix: "
+                     f"{sweep['joules_per_op']:.3f} J/op, "
+                     f"${sweep['usd_per_mops']:.3f}/Mops")
     return "\n".join(lines)
 
 
@@ -352,7 +407,8 @@ def render_adaptive_sweep(sweep: dict) -> str:
     plus the controller's read-decision mix and ladder activity.
     """
     headers = ["policy", "target", "ops/s", "read p95 ms", "RYW rate",
-               "stale rate", "max lag s", "esc", "decay", "read CL mix"]
+               "stale rate", "max lag s", "esc", "decay", "J/op",
+               "$/Mops", "read CL mix"]
     rows = []
     slo = None
     for policy in sweep:
@@ -370,8 +426,8 @@ def render_adaptive_sweep(sweep: dict) -> str:
                 f"{by_kind.get('stale_read', 0) / reads:.4f}",
                 consistency["max_staleness_lag_s"],
                 counters.get("escalations", 0),
-                counters.get("decays", 0) + counters.get("latency_steps", 0),
-                _read_cl_mix(decisions)])
+                counters.get("decays", 0) + counters.get("latency_steps", 0)]
+                + _energy_cols(summary) + [_read_cl_mix(decisions)])
     title = "Adaptive consistency (cassandra, RF=3): policy vs offered load"
     if slo is not None:
         title += (f"\nSLO: p95 <= {slo['p95_ms']:g} ms, staleness <= "
@@ -426,7 +482,51 @@ def render_consistency_sweep(sweep: dict) -> str:
             for mode in sweep:
                 row.append(sweep[mode][workload]["series"][i][1])
             rows.append(row)
+        # Whole-ramp energy per mode rides below the throughput series
+        # (this table is transposed: modes are columns, so the energy
+        # "columns" land as the bottom two rows).
+        rows.append(["J/op"] + [_energy_cell(sweep[mode][workload],
+                                             "joules_per_op")
+                                for mode in sweep])
+        rows.append(["$/Mops"] + [_energy_cell(sweep[mode][workload],
+                                               "usd_per_mops")
+                                  for mode in sweep])
         blocks.append(render_table(
             headers, rows,
             title=f"Fig.3 (cassandra, RF=3): runtime throughput — {workload}"))
     return "\n\n".join(blocks)
+
+
+def render_energy_sweep(db: str, sweep: dict) -> str:
+    """Energy/cost table, one row per (RF, CL round, power mode).
+
+    ``sweep`` is :func:`repro.core.sweep.energy_sweep` output.  The
+    J/op + $/Mops pair is the headline; the idle/sleep split and wake
+    columns explain *where* a power mode's savings came from and what
+    they cost in wake transitions, and the p95/lag/violation columns
+    price the savings in latency and staleness — power management that
+    broke the consistency guarantee or the tail would not be a win.
+    """
+    headers = ["RF", "CL", "power", "ops/s", "p95 ms", "p99 ms",
+               "J/op", "$/Mops", "idle J", "sleep J", "wakes",
+               "wake s", "max lag s", "viol"]
+    rows = []
+    for rf in sorted(sweep):
+        for cl, by_power in sweep[rf].items():
+            for power, summary in by_power.items():
+                energy = summary.get("energy") or {}
+                cons = summary.get("consistency") or {}
+                rows.append([
+                    rf, cl, power, summary["throughput"],
+                    summary["p95_ms"], summary["p99_ms"]]
+                    + _energy_cols(summary)
+                    + [energy.get("idle_j", "-"),
+                       energy.get("sleep_j", "-"),
+                       energy.get("wakes", "-"),
+                       energy.get("wake_latency_s", "-"),
+                       cons.get("max_staleness_lag_s", "-"),
+                       cons.get("violations", "-")])
+    return render_table(
+        headers, rows,
+        title=f"Energy & cost ({db}): joules/op and $/Mops per "
+              "RF x CL x power mode")

@@ -65,7 +65,10 @@ __all__ = [
 #: may carry ``offered``/``goodput`` and a ``clienttier`` breakdown.
 #: "8": elasticity — RunSpec gained ``scale``, configs may carry an
 #: ``elasticity`` plan, summaries may carry a per-phase ``scale`` report.
-RESULT_VERSION = "8"
+#: "9": energy/cost — configs carry an ``energy`` power/cost model,
+#: summaries carry ``energy``/``cost`` dicts plus ``joules_per_op`` and
+#: ``usd_per_mops``.
+RESULT_VERSION = "9"
 
 #: Environment override for the cell-cache directory.
 CACHE_ENV_VAR = "REPRO_CELL_CACHE"

@@ -39,7 +39,9 @@ from repro.core.config import (AdaptiveConfig,
                                CassandraConfig,
                                ClientTierConfig,
                                ElasticityConfig,
+                               EnergyConfig,
                                ExperimentConfig,
+                               HBaseConfig,
                                ScaleEventSpec,
                                TailDefenseConfig,
                                default_geo_config,
@@ -59,7 +61,10 @@ __all__ = [
     "CONSISTENCY_MODES",
     "CheckScale",
     "ELASTIC_SCENARIOS",
+    "ENERGY_CL_MODES",
+    "ENERGY_POWER_MODES",
     "ElasticScale",
+    "EnergyScale",
     "FAILOVER_CL_MODES",
     "FailoverScale",
     "GEO_CL_MODES",
@@ -69,6 +74,7 @@ __all__ = [
     "QUICK_ADAPTIVE_SCALE",
     "QUICK_CHECK_SCALE",
     "QUICK_ELASTIC_SCALE",
+    "QUICK_ENERGY_SCALE",
     "QUICK_FAILOVER_SCALE",
     "QUICK_GEO_SCALE",
     "QUICK_SURGE_SCALE",
@@ -89,6 +95,9 @@ __all__ = [
     "consistency_stress_sweep",
     "elastic_arrivals",
     "elasticity_for_mode",
+    "energy_cells",
+    "energy_modes",
+    "energy_sweep",
     "failover_cells",
     "failover_sweep",
     "geo_cells",
@@ -151,10 +160,39 @@ QUICK_SCALE = SweepScale(record_count=5_000, operation_count=1_200,
 #: The projection of a run summary the micro sweep reports per op.
 _MICRO_KEYS = ("mean_ms", "p99_ms", "throughput", "ops", "errors")
 
+#: Energy/cost keys carried alongside; projected with ``.get`` so
+#: payloads cached before the energy meter existed stay renderable.
+_ENERGY_KEYS = ("joules_per_op", "usd_per_mops")
+
 
 def _run(cells: Sequence[CellSpec],
          runner: Optional[CellRunner]) -> list[dict]:
     return (runner or CellRunner()).run(cells)
+
+
+def _energy_rollup(summaries: Sequence[dict]) -> dict:
+    """Aggregate joules/op + $/Mops across several run summaries.
+
+    Energy totals add, so the only correct multi-run aggregate is
+    sum-of-joules over sum-of-ops (averaging the per-run ratios would
+    overweight small runs).  Both keys are ``None`` when the payloads
+    predate the energy meter.
+    """
+    total_j = usd = 0.0
+    ops = 0
+    seen = False
+    for summary in summaries:
+        energy, cost = summary.get("energy"), summary.get("cost")
+        if energy is None or cost is None:
+            continue
+        seen = True
+        total_j += energy["total_j"]
+        usd += cost["total_usd"]
+        ops += summary["ops"]
+    if not seen or not ops:
+        return {"joules_per_op": None, "usd_per_mops": None}
+    return {"joules_per_op": total_j / ops,
+            "usd_per_mops": usd / (ops / 1e6)}
 
 
 # -- Figure 1: micro benchmark vs replication ------------------------------
@@ -195,7 +233,8 @@ def replication_micro_sweep(db: str, replication_factors: Sequence[int],
     out: dict = {}
     for cell, payload in zip(cells, _run(cells, runner)):
         out[cell.key] = {
-            op: {key: summary[key] for key in _MICRO_KEYS}
+            op: {**{key: summary[key] for key in _MICRO_KEYS},
+                 **{key: summary.get(key) for key in _ENERGY_KEYS}}
             for op, summary in zip(MICRO_OP_ORDER, payload["runs"])}
     return out
 
@@ -246,15 +285,19 @@ def replication_stress_sweep(db: str, replication_factors: Sequence[int],
         summaries = iter(payload["runs"])
         per_workload: dict = {}
         for name in workloads:
+            pairs = [(target, next(summaries)) for target in scale.targets]
             per_target = [(target, summary["throughput"],
                            summary["mean_ms"])
-                          for target in scale.targets
-                          for summary in (next(summaries),)]
-            peak = max(per_target, key=lambda row: row[1])
+                          for target, summary in pairs]
+            _, peak = max(pairs, key=lambda row: row[1]["throughput"])
             per_workload[name] = {
-                "peak_throughput": peak[1],
-                "latency_ms": peak[2],
+                "peak_throughput": peak["throughput"],
+                "latency_ms": peak["mean_ms"],
                 "per_target": per_target,
+                # Energy at the peak point: what the paper's headline
+                # throughput costs in joules and dollars.
+                "joules_per_op": peak.get("joules_per_op"),
+                "usd_per_mops": peak.get("usd_per_mops"),
             }
         out[cell.key] = per_workload
     return out
@@ -986,12 +1029,15 @@ def consistency_stress_sweep(scale: Optional[SweepScale] = None,
         summaries = iter(payload["runs"])
         per_workload: dict = {}
         for name in workloads:
+            pairs = [(target, next(summaries)) for target in scale.targets]
             series = [(target, summary["throughput"])
-                      for target in scale.targets
-                      for summary in (next(summaries),)]
+                      for target, summary in pairs]
             per_workload[name] = {
                 "series": series,
                 "peak_throughput": max(r for _, r in series),
+                # Whole-ramp energy: joules add across targets, so the
+                # aggregate is sum-of-joules over sum-of-ops.
+                **_energy_rollup([summary for _, summary in pairs]),
             }
         out[cell.key] = per_workload
     return out
@@ -1265,4 +1311,175 @@ def geo_sweep(modes: Optional[Sequence[str]] = None,
         out.setdefault(mode, {})[scenario] = {
             region: summary
             for region, summary in zip(regions, payload["runs"])}
+    return out
+
+
+# -- Energy & cost campaigns: db x RF x CL x power mode ---------------------
+
+#: Power-management contenders the energy campaign compares:
+#: ``always_on`` (the historical baseline), ``race_to_sleep``
+#: (unconditional parking after the idle thresholds) and
+#: ``energy_aware`` (Cassandra only: the
+#: :class:`~repro.adaptive.policy.EnergyAwarePolicy` routes CLs by the
+#: staleness budget and parks replicas per monitoring window).
+ENERGY_POWER_MODES = ("always_on", "race_to_sleep", "energy_aware")
+
+#: Consistency rounds priced per database.  HBase has no per-request
+#: CL; the adaptive contender routes CLs itself and is keyed
+#: ``"adaptive"`` in the sweep.
+ENERGY_CL_MODES = {
+    "cassandra": ("ONE", "QUORUM"),
+    "hbase": ("n/a",),
+}
+
+
+@dataclass(frozen=True)
+class EnergyScale:
+    """Scale knobs for the energy/cost campaign.
+
+    The load is throttled well below peak on purpose: energy
+    efficiency is about what the *idle* capacity costs, so the
+    interesting regime is the one where power management has slack to
+    harvest.  Storage runs at the micro tuning so reads reach the disk
+    and the spindle term participates.  The parking thresholds are
+    shrunk to the campaign's time scale (sub-second windows instead of
+    a datacenter's seconds-to-minutes) so race-to-sleep visibly trades
+    wake latency for joules within a four-second run.
+    """
+
+    record_count: int = 300
+    #: Client threads.  Weak CLs sustain the offered target with room
+    #: to spare; QUORUM's disk-exposed reads saturate the thread pool
+    #: and stretch wall-clock — which is itself part of the energy
+    #: story (a slower CL burns fleet idle watts for longer per op).
+    n_threads: int = 16
+    n_nodes: int = 6
+    #: Replication factors swept (the paper-shape axis: more replicas,
+    #: more fan-out work, more joules per op).
+    rfs: tuple = (1, 3)
+    #: 50/50 read/update: writes fan out RF-ways on both stores, so the
+    #: replication axis moves the dynamic (CPU/disk/NIC) joules instead
+    #: of drowning in idle draw the way a read-mostly mix would.
+    workload: str = "read_update"
+    #: Offered load, ops/s (closed-loop throttled).  Kept well under
+    #: the knee on purpose: past it, RF 1's single-replica hotspots
+    #: collapse throughput and the run measures queueing, not power.
+    target: float = 600.0
+    duration_s: float = 12.0
+    #: SLO the energy-aware contender steers by.
+    p95_ms: float = 50.0
+    staleness_s: float = 0.25
+    risk_rate: float = 0.002
+    window_s: float = 0.5
+    decay_windows: int = 3
+    #: Power-state machine timing (see :class:`repro.energy.PowerSpec`).
+    idle_after_s: float = 0.005
+    sleep_after_s: float = 0.25
+    pstate_wake_s: float = 0.002
+    sleep_wake_s: float = 0.2
+    #: Seed 3 + runs long enough that the replication-axis energy delta
+    #: clears the closed-loop drain-tail jitter (the last op's latency
+    #: times the fleet's idle watts, ~±15 J either way).
+    seed: int = 3
+
+
+#: Fast settings for tests, the CI energy smoke, and --quick campaigns.
+QUICK_ENERGY_SCALE = EnergyScale(target=600.0, duration_s=6.0)
+
+
+def energy_modes(db: str) -> list[tuple[str, str]]:
+    """The (CL round, power mode) grid one database compares."""
+    if db == "cassandra":
+        return [("ONE", "always_on"), ("QUORUM", "always_on"),
+                ("ONE", "race_to_sleep"), ("QUORUM", "race_to_sleep"),
+                ("adaptive", "energy_aware")]
+    return [("n/a", "always_on"), ("n/a", "race_to_sleep")]
+
+
+def energy_cells(db: str,
+                 scale: Optional[EnergyScale] = None) -> list[CellSpec]:
+    """One cell per (RF, CL round, power mode), each a healthy
+    oracle-checked run at the throttled target."""
+    scale = scale or EnergyScale()
+    cells = []
+    ops = int(scale.target * scale.duration_s)
+    for rf in scale.rfs:
+        for cl, power in energy_modes(db):
+            adaptive = "energy-aware" if power == "energy_aware" else None
+            energy = EnergyConfig(
+                power_mode=("policy" if power == "energy_aware"
+                            else power),
+                idle_after_s=scale.idle_after_s,
+                sleep_after_s=scale.sleep_after_s,
+                pstate_wake_s=scale.pstate_wake_s,
+                sleep_wake_s=scale.sleep_wake_s)
+            read_cl = write_cl = ConsistencyLevel.ONE
+            if cl == "QUORUM":
+                read_cl = write_cl = ConsistencyLevel.QUORUM
+            config = ExperimentConfig(
+                db=db,
+                workload=STRESS_WORKLOADS[scale.workload],
+                record_count=scale.record_count,
+                operation_count=ops,
+                n_threads=scale.n_threads,
+                target_throughput=scale.target,
+                n_nodes=scale.n_nodes,
+                seed=scale.seed,
+                # Disk-exposed reads (tiny block cache) but a gentler
+                # flush threshold than the adaptive campaign's: a 50%
+                # update mix at 32 KiB flushes leaves a compaction
+                # backlog that drains for seconds after the load, all
+                # billed at fleet idle watts — pure tail noise.
+                storage=StorageSpec(memtable_flush_bytes=128 * 1024,
+                                    block_bytes=4 * 1024,
+                                    block_cache_bytes=64 * 1024,
+                                    compaction_min_batch=3,
+                                    compaction_max_batch=8),
+                # Durable WAL: energy is priced on the durable path, so
+                # every pipeline packet hits each replica's spindle and
+                # the HDFS replication factor shows up in the joules
+                # (foreground throughput still barely moves — the
+                # paper's finding F2).
+                hbase=HBaseConfig(replication=rf, regions_per_server=1,
+                                  wal_sync=True),
+                cassandra=CassandraConfig(
+                    replication=rf,
+                    read_cl=read_cl, write_cl=write_cl,
+                    read_repair_chance=0.0,
+                    blocking_read_repair=False),
+                adaptive=AdaptiveConfig(p95_ms=scale.p95_ms,
+                                        staleness_s=scale.staleness_s,
+                                        risk_rate=scale.risk_rate,
+                                        window_s=scale.window_s,
+                                        decay_windows=scale.decay_windows),
+                energy=energy)
+            cells.append(CellSpec(
+                key=(rf, cl, power),
+                label=f"energy/{db}/rf={rf}/{cl}/{power}",
+                config=config,
+                runs=(RunSpec(workload=scale.workload,
+                              operation_count=ops,
+                              target_throughput=scale.target,
+                              check=True, adaptive=adaptive),),
+                warm=None))
+    return cells
+
+
+def energy_sweep(db: str, scale: Optional[EnergyScale] = None,
+                 runner: Optional[CellRunner] = None) -> dict:
+    """Energy/cost campaign: RF x CL round x power mode, one database.
+
+    Returns ``{rf: {cl: {power: summary}}}`` where each summary is a
+    :func:`~repro.core.experiment.summarize_run` dict carrying the
+    ``energy``/``cost`` breakdowns, ``joules_per_op``/``usd_per_mops``,
+    the oracle's ``consistency`` verdict, and — for the energy-aware
+    contender — the ``decisions`` log with its park/unpark counters.
+    """
+    scale = scale or EnergyScale()
+    cells = energy_cells(db, scale)
+    out: dict = {}
+    for cell, payload in zip(cells, _run(cells, runner)):
+        rf, cl, power = cell.key
+        out.setdefault(rf, {}).setdefault(cl, {})[power] = \
+            payload["runs"][0]
     return out

@@ -1,0 +1,57 @@
+"""Dollar pricing for energy reports: $/kWh + per-instance-hour.
+
+Two bills add up: the electricity behind the measured joules (what a
+datacenter owner pays) and the instance-hours the cluster occupied
+(what a cloud tenant pays).  Defaults: $0.12/kWh — a typical
+industrial-power rate — and $0.10 per instance-hour, an on-demand
+price of the paper's era.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.meter import EnergyReport
+
+__all__ = ["CostReport", "CostSpec"]
+
+#: Joules per kilowatt-hour.
+_J_PER_KWH = 3.6e6
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Dollars attributed to one measured window."""
+
+    energy_usd: float
+    instance_usd: float
+
+    @property
+    def total_usd(self) -> float:
+        return self.energy_usd + self.instance_usd
+
+    def usd_per_mops(self, operations: int) -> float:
+        """Dollars per million completed operations (``inf`` when
+        nothing completed — an all-errors window is not free)."""
+        if operations <= 0:
+            return float("inf")
+        return self.total_usd / (operations / 1e6)
+
+    def to_dict(self) -> dict:
+        return {
+            "energy_usd": self.energy_usd,
+            "instance_usd": self.instance_usd,
+            "total_usd": self.total_usd,
+        }
+
+
+@dataclass(frozen=True)
+class CostSpec:
+    usd_per_kwh: float = 0.12
+    usd_per_node_hour: float = 0.10
+
+    def price(self, report: EnergyReport) -> CostReport:
+        return CostReport(
+            energy_usd=report.total_j / _J_PER_KWH * self.usd_per_kwh,
+            instance_usd=report.node_seconds / 3600.0
+            * self.usd_per_node_hour)

@@ -59,8 +59,11 @@ class RunResult:
     target_throughput: Optional[float]
     measurements: Measurements
     #: Cluster energy over the cell (an
-    #: :class:`repro.cluster.energy.EnergyReport`), when metering is on.
+    #: :class:`repro.energy.EnergyReport`), when metering is on.
     energy: Optional[object] = None
+    #: Dollars for that energy (a :class:`repro.energy.CostReport`):
+    #: electricity + instance-hours, priced by the cell's ``CostSpec``.
+    cost: Optional[object] = None
     #: JSON-safe availability report (see
     #: :func:`repro.core.failover.build_failover_report`) attached when
     #: the cell ran with fault injection enabled.

@@ -1,11 +1,18 @@
 """Unit tests for report rendering."""
 
 from repro.core.report import (
+    render_adaptive_sweep,
     render_consistency_sweep,
+    render_energy_sweep,
+    render_failover_sweep,
+    render_geo_sweep,
     render_micro_sweep,
+    render_scale_sweep,
     render_series,
     render_stress_sweep,
+    render_surge_sweep,
     render_table,
+    render_tail_sweep,
 )
 
 
@@ -60,3 +67,94 @@ class TestRenderSweeps:
         text = render_series("curve", [(1.0, 2.0), (3.0, 4.0)],
                              x_label="target", y_label="runtime")
         assert "curve" in text and "target" in text
+
+
+#: Latency keys most campaign summaries carry.
+_LATENCIES = {"p50_ms": 1.0, "p95_ms": 2.0, "p99_ms": 3.0, "p999_ms": 4.0}
+
+
+class TestEnergyColumnBackfill:
+    """Every campaign table grew J/op + $/Mops columns; payloads cached
+    before the energy meter existed must still render (as ``-``) and
+    post-bump payloads must show the numbers."""
+
+    def test_micro_sweep_prebump_and_postbump(self):
+        prebump = {1: {"read": {"mean_ms": 1.0, "ops": 100}}}
+        text = render_micro_sweep("hbase", prebump)
+        assert "J/op" in text and "$/Mops" in text
+        assert "-" in text.splitlines()[-1]
+        postbump = {1: {"read": {"mean_ms": 1.0, "ops": 100,
+                                 "joules_per_op": 1.25,
+                                 "usd_per_mops": 0.5}}}
+        assert "1.250" in render_micro_sweep("hbase", postbump)
+
+    def test_stress_sweep_prebump(self):
+        sweep = {1: {"read_mostly": {"peak_throughput": 1000.0,
+                                     "latency_ms": 2.0, "per_target": []}}}
+        text = render_stress_sweep("cassandra", sweep)
+        assert "J/op" in text and "-" in text.splitlines()[-1]
+
+    def test_consistency_sweep_prebump(self):
+        sweep = {"ONE": {"read_latest": {"series": [(100.0, 90.0)],
+                                         "peak_throughput": 90.0}}}
+        text = render_consistency_sweep(sweep)
+        assert "J/op" in text and "$/Mops" in text
+
+    def test_failover_sweep_prebump(self):
+        summary = {"ops": 100, "failover": {
+            "errors": 1, "time_to_detection_s": None,
+            "time_to_recovery_s": None, "error_window_s": 0.0,
+            "stale_reads": 0, "errors_by_type": {}}}
+        text = render_failover_sweep("hbase", {"crash": {"n/a": summary}})
+        assert "J/op" in text and "-" in text
+
+    def test_tail_sweep_prebump(self):
+        summary = {"throughput": 10.0, "errors": 0, **_LATENCIES}
+        text = render_tail_sweep("hbase", {"healthy": {"none": summary}})
+        assert "J/op" in text and "-" in text
+
+    def test_surge_sweep_prebump(self):
+        summary = {"ops": 10, "throughput": 10.0, "errors": 0,
+                   **_LATENCIES}
+        text = render_surge_sweep("hbase", {"spike": {"none": summary}})
+        assert "J/op" in text and "-" in text
+
+    def test_scale_sweep_prebump(self):
+        summary = {"ops": 10, "throughput": 10.0}
+        text = render_scale_sweep("hbase", {"ramp": {"static": summary}})
+        assert "J/op" in text and "-" in text
+
+    def test_geo_sweep_prebump(self):
+        summary = {"throughput": 10.0, "errors": 0, "p95_ms": 1.0,
+                   "p99_ms": 2.0, "errors_by_type": {},
+                   "consistency": {"violations_by_kind": {},
+                                   "max_staleness_lag_s": 0.0,
+                                   "strong": False}}
+        text = render_geo_sweep(
+            {"LOCAL_QUORUM": {"healthy": {"eu-west": summary}}})
+        assert "J/op" in text and "-" in text
+
+    def test_adaptive_sweep_prebump(self):
+        summary = {"throughput": 10.0,
+                   "decisions": {"slo": {"p95_ms": 50.0, "staleness_s": 0.25,
+                                         "risk_rate": 0.002},
+                                 "read_p95_ms": 1.0,
+                                 "policy_counters": {},
+                                 "by_cl": {"read": {"ONE": 10}}},
+                   "consistency": {"reads": 10, "violations_by_kind": {},
+                                   "max_staleness_lag_s": 0.0}}
+        text = render_adaptive_sweep({"static-one": {600.0: summary}})
+        assert "J/op" in text and "-" in text
+
+    def test_energy_sweep_zero_ops_renders_max(self):
+        # An all-errors cell stores None under the key: rendered as
+        # "max", never as free and never as a crash.
+        summary = {"throughput": 0.0, "p95_ms": 0.0, "p99_ms": 0.0,
+                   "joules_per_op": None, "usd_per_mops": None,
+                   "energy": {"idle_j": 10.0, "sleep_j": 0.0, "wakes": 0,
+                              "wake_latency_s": 0.0},
+                   "consistency": {"max_staleness_lag_s": 0.0,
+                                   "violations": 0}}
+        text = render_energy_sweep(
+            "cassandra", {3: {"ONE": {"always_on": summary}}})
+        assert "max" in text

@@ -4,10 +4,11 @@ from dataclasses import replace
 
 from repro.cluster.energy import EnergyReport
 from repro.core.config import default_stress_config
-from repro.core.experiment import ExperimentSession
+from repro.core.experiment import ExperimentSession, summarize_run
+from repro.energy.cost import CostReport
 
 
-def test_run_cell_reports_energy():
+def test_run_cell_reports_energy_and_cost():
     config = default_stress_config("cassandra", "read_mostly")
     config = replace(config, record_count=1200, operation_count=300,
                      n_nodes=5, n_threads=6, settle_s=0.5, load_threads=8)
@@ -19,6 +20,17 @@ def test_run_cell_reports_energy():
     assert result.energy.idle_j > 0
     joules_per_op = result.energy.joules_per_op(result.operations)
     assert joules_per_op > 0
+    # The same result is priced: energy dollars plus instance-hours.
+    assert isinstance(result.cost, CostReport)
+    assert result.cost.total_usd > 0
+    assert result.cost.usd_per_mops(result.operations) > 0
+    # And the serialized summary carries the whole story.
+    summary = summarize_run(result)
+    assert summary["energy"]["total_j"] == result.energy.total_j
+    assert summary["cost"]["total_usd"] == result.cost.total_usd
+    assert summary["joules_per_op"] == joules_per_op
+    assert summary["usd_per_mops"] == result.cost.usd_per_mops(
+        result.operations)
 
 
 def test_throttled_cell_burns_more_energy_per_op():
